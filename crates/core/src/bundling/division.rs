@@ -1,0 +1,181 @@
+//! Cost-division and index-division bundling (§4.2.1).
+//!
+//! * [`CostDivision`] splits the *cost axis* into `B` equal-width ranges
+//!   anchored at zero (the paper's example: most expensive flow at
+//!   $10/Mbps and two bundles → $0–4.99 and $5–10). Ranges that contain no
+//!   flows simply stay empty, which is why cost division can need many
+//!   bundles on skewed cost distributions.
+//! * [`IndexDivision`] ranks flows by cost and splits the *rank axis* into
+//!   `B` equal-count groups, so every bundle is populated regardless of
+//!   the cost distribution's shape.
+
+use super::{Bundling, BundlingStrategy};
+use crate::error::{Result, TransitError};
+use crate::market::TransitMarket;
+
+/// Equal-width ranges of the cost axis.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CostDivision;
+
+impl BundlingStrategy for CostDivision {
+    fn name(&self) -> &'static str {
+        "cost-division"
+    }
+
+    fn bundle(&self, market: &dyn TransitMarket, n_bundles: usize) -> Result<Bundling> {
+        if n_bundles == 0 {
+            return Err(TransitError::ZeroBundles);
+        }
+        let costs = market.costs();
+        if costs.is_empty() {
+            return Err(TransitError::EmptyFlowSet);
+        }
+        let max_c = costs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let width = max_c / n_bundles as f64;
+        let assignment: Vec<usize> = costs
+            .iter()
+            .map(|&c| {
+                if width <= 0.0 {
+                    0
+                } else {
+                    ((c / width) as usize).min(n_bundles - 1)
+                }
+            })
+            .collect();
+        Bundling::new(assignment, n_bundles)
+    }
+}
+
+/// Equal-count groups of the cost-ranked flows.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IndexDivision;
+
+impl BundlingStrategy for IndexDivision {
+    fn name(&self) -> &'static str {
+        "index-division"
+    }
+
+    fn bundle(&self, market: &dyn TransitMarket, n_bundles: usize) -> Result<Bundling> {
+        if n_bundles == 0 {
+            return Err(TransitError::ZeroBundles);
+        }
+        let costs = market.costs();
+        let n = costs.len();
+        if n == 0 {
+            return Err(TransitError::EmptyFlowSet);
+        }
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&i, &j| {
+            costs[i]
+                .partial_cmp(&costs[j])
+                .expect("costs are finite")
+                .then(i.cmp(&j))
+        });
+        let mut assignment = vec![0usize; n];
+        for (rank, &flow) in order.iter().enumerate() {
+            assignment[flow] = (rank * n_bundles / n).min(n_bundles - 1);
+        }
+        Bundling::new(assignment, n_bundles)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::LinearCost;
+    use crate::demand::ced::CedAlpha;
+    use crate::fitting::fit_ced;
+    use crate::flow::TrafficFlow;
+    use crate::market::CedMarket;
+
+    /// Market with costs proportional to the given distances.
+    fn market_with_distances(distances: &[f64]) -> CedMarket {
+        let flows: Vec<TrafficFlow> = distances
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| TrafficFlow::new(i as u32, 10.0, d))
+            .collect();
+        CedMarket::new(
+            fit_ced(
+                &flows,
+                &LinearCost::new(0.0).unwrap(),
+                CedAlpha::new(1.1).unwrap(),
+                20.0,
+            )
+            .unwrap(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn cost_division_matches_paper_example() {
+        // Costs proportional to 1:2:5:9.99:10 → with two bundles, the
+        // boundary sits at half the max cost; the paper's ranges are
+        // $0–4.99 and $5–10, so a cost exactly at the boundary belongs to
+        // the upper bundle.
+        let m = market_with_distances(&[1.0, 2.0, 5.0, 9.99, 10.0]);
+        let b = CostDivision.bundle(&m, 2).unwrap();
+        assert_eq!(b.assignment(), &[0, 0, 1, 1, 1]);
+    }
+
+    #[test]
+    fn cost_division_can_leave_bundles_empty() {
+        // All flows cheap except one outlier: middle ranges are empty.
+        let m = market_with_distances(&[1.0, 1.1, 1.2, 100.0]);
+        let b = CostDivision.bundle(&m, 4).unwrap();
+        assert_eq!(b.occupied_bundles(), 2);
+        assert_eq!(b.assignment()[3], 3);
+    }
+
+    #[test]
+    fn cost_division_single_bundle() {
+        let m = market_with_distances(&[1.0, 5.0, 10.0]);
+        let b = CostDivision.bundle(&m, 1).unwrap();
+        assert_eq!(b.assignment(), &[0, 0, 0]);
+    }
+
+    #[test]
+    fn index_division_gives_equal_counts() {
+        let m = market_with_distances(&[3.0, 1.0, 9.0, 7.0, 5.0, 2.0]);
+        let b = IndexDivision.bundle(&m, 3).unwrap();
+        let members = b.members();
+        assert!(members.iter().all(|g| g.len() == 2));
+        // Cheapest two (distances 1, 2 → flows 1, 5) share bundle 0.
+        assert_eq!(b.assignment()[1], 0);
+        assert_eq!(b.assignment()[5], 0);
+        // Most expensive two (distances 7, 9 → flows 3, 2) share the last.
+        assert_eq!(b.assignment()[2], 2);
+        assert_eq!(b.assignment()[3], 2);
+    }
+
+    #[test]
+    fn index_division_never_leaves_bundles_empty_when_enough_flows() {
+        let m = market_with_distances(&[1.0, 1.0, 1.0, 100.0]);
+        let b = IndexDivision.bundle(&m, 4).unwrap();
+        assert_eq!(b.occupied_bundles(), 4);
+    }
+
+    #[test]
+    fn index_division_is_cost_monotone() {
+        // Bundle index must be non-decreasing in cost.
+        let m = market_with_distances(&[8.0, 2.0, 6.0, 4.0, 10.0]);
+        let b = IndexDivision.bundle(&m, 2).unwrap();
+        let costs = m.costs();
+        let mut pairs: Vec<(f64, usize)> = costs
+            .iter()
+            .zip(b.assignment())
+            .map(|(&c, &a)| (c, a))
+            .collect();
+        pairs.sort_by(|x, y| x.0.partial_cmp(&y.0).unwrap());
+        for w in pairs.windows(2) {
+            assert!(w[0].1 <= w[1].1);
+        }
+    }
+
+    #[test]
+    fn both_reject_zero_bundles() {
+        let m = market_with_distances(&[1.0, 2.0]);
+        assert!(CostDivision.bundle(&m, 0).is_err());
+        assert!(IndexDivision.bundle(&m, 0).is_err());
+    }
+}

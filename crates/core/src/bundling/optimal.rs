@@ -1,0 +1,411 @@
+//! Optimal bundling (§4.2.1, "Optimal").
+//!
+//! The paper exhaustively searches bundle combinations and notes the blowup
+//! ("more than a billion ways to divide one hundred traffic flows into six
+//! pricing bundles"). Both demand models admit an additive bundle score
+//! (see [`crate::market`]) which we exploit twice:
+//!
+//! * [`OptimalExhaustive`] enumerates set partitions with at most `B`
+//!   blocks via restricted-growth strings, scoring each partition
+//!   incrementally. Exact, but limited to small instances
+//!   ([`OptimalExhaustive::MAX_FLOWS`]).
+//! * [`OptimalDp`] sorts flows along an ordering and finds the best
+//!   partition into `B` *contiguous* runs by dynamic programming in
+//!   O(B·n²) using prefix sums of the score terms. For each of several
+//!   orderings (cost, demand, potential profit, net value `v − c`) the DP
+//!   is exact among contiguous partitions of that ordering; the best
+//!   result across orderings is returned. Cross-validated against the
+//!   exhaustive search in tests (they agree on every small instance we
+//!   generate, supporting the standard interval-bundling intuition for
+//!   these score functions).
+
+use super::{Bundling, BundlingStrategy};
+use crate::error::{Result, TransitError};
+use crate::market::TransitMarket;
+
+/// Exact optimal bundling by set-partition enumeration.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OptimalExhaustive;
+
+impl OptimalExhaustive {
+    /// Largest instance the enumeration accepts. Bell(14) ≈ 1.9×10⁸ is the
+    /// practical ceiling for a test-time search.
+    pub const MAX_FLOWS: usize = 14;
+}
+
+impl BundlingStrategy for OptimalExhaustive {
+    fn name(&self) -> &'static str {
+        "optimal-exhaustive"
+    }
+
+    fn bundle(&self, market: &dyn TransitMarket, n_bundles: usize) -> Result<Bundling> {
+        if n_bundles == 0 {
+            return Err(TransitError::ZeroBundles);
+        }
+        let n = market.n_flows();
+        if n == 0 {
+            return Err(TransitError::EmptyFlowSet);
+        }
+        if n > Self::MAX_FLOWS {
+            return Err(TransitError::InstanceTooLarge {
+                n_flows: n,
+                max_flows: Self::MAX_FLOWS,
+            });
+        }
+        let terms = market.score_terms();
+        let max_blocks = n_bundles.min(n);
+
+        // Enumerate restricted-growth strings: rgs[0] = 0 and
+        // rgs[i] <= max(rgs[..i]) + 1, capped at max_blocks - 1.
+        let mut rgs = vec![0usize; n];
+        let mut best_score = f64::NEG_INFINITY;
+        let mut best = rgs.clone();
+
+        // Iterative odometer over RGS space.
+        loop {
+            // Score this partition.
+            let mut sum_a = vec![0.0; max_blocks];
+            let mut sum_b = vec![0.0; max_blocks];
+            let mut blocks = 0usize;
+            for (i, &g) in rgs.iter().enumerate() {
+                sum_a[g] += terms.a[i];
+                sum_b[g] += terms.b[i];
+                blocks = blocks.max(g + 1);
+            }
+            let score: f64 = (0..blocks).map(|g| terms.score(sum_a[g], sum_b[g])).sum();
+            if score > best_score {
+                best_score = score;
+                best = rgs.clone();
+            }
+
+            // Advance to the next RGS.
+            let mut i = n - 1;
+            loop {
+                if i == 0 {
+                    // rgs[0] must stay 0: enumeration complete.
+                    let assignment = best;
+                    return Bundling::new(assignment, n_bundles);
+                }
+                let max_prefix = rgs[..i].iter().copied().max().unwrap_or(0);
+                let cap = (max_prefix + 1).min(max_blocks - 1);
+                if rgs[i] < cap {
+                    rgs[i] += 1;
+                    for r in rgs[i + 1..].iter_mut() {
+                        *r = 0;
+                    }
+                    break;
+                }
+                i -= 1;
+            }
+        }
+    }
+}
+
+/// Flow orderings the DP searches along.
+const ORDERINGS: [OrderingKey; 4] = [
+    OrderingKey::Cost,
+    OrderingKey::Demand,
+    OrderingKey::PotentialProfit,
+    OrderingKey::NetValue,
+];
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum OrderingKey {
+    Cost,
+    Demand,
+    PotentialProfit,
+    NetValue,
+}
+
+/// Optimal-among-contiguous bundling via dynamic programming over several
+/// flow orderings.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OptimalDp {
+    _private: (),
+}
+
+impl OptimalDp {
+    /// Creates the strategy.
+    pub fn new() -> OptimalDp {
+        OptimalDp::default()
+    }
+
+    fn key_values(key: OrderingKey, market: &dyn TransitMarket) -> Vec<f64> {
+        match key {
+            OrderingKey::Cost => market.costs().to_vec(),
+            OrderingKey::Demand => market.demands().to_vec(),
+            OrderingKey::PotentialProfit => market.potential_profits(),
+            OrderingKey::NetValue => market
+                .valuations()
+                .iter()
+                .zip(market.costs())
+                .map(|(&v, &c)| v - c)
+                .collect(),
+        }
+    }
+}
+
+/// DP over one ordering: best partition of `order` into at most `b`
+/// contiguous runs, maximizing summed scores. Returns (assignment, score).
+fn dp_contiguous(
+    terms: &crate::market::ScoreTerms,
+    order: &[usize],
+    n_bundles: usize,
+) -> (Vec<usize>, f64) {
+    let n = order.len();
+    let b_max = n_bundles.min(n);
+
+    // Prefix sums of score terms along the ordering.
+    let mut pa = vec![0.0; n + 1];
+    let mut pb = vec![0.0; n + 1];
+    for (pos, &flow) in order.iter().enumerate() {
+        pa[pos + 1] = pa[pos] + terms.a[flow];
+        pb[pos + 1] = pb[pos] + terms.b[flow];
+    }
+    let run_score =
+        |from: usize, to: usize| terms.score(pa[to] - pa[from], pb[to] - pb[from]);
+
+    // dp[b][j]: best score for the first j flows in exactly b runs.
+    let mut dp = vec![vec![f64::NEG_INFINITY; n + 1]; b_max + 1];
+    let mut parent = vec![vec![0usize; n + 1]; b_max + 1];
+    dp[0][0] = 0.0;
+    for b in 1..=b_max {
+        for j in b..=n {
+            // Last run covers positions k..j.
+            for k in (b - 1)..j {
+                if dp[b - 1][k] == f64::NEG_INFINITY {
+                    continue;
+                }
+                let cand = dp[b - 1][k] + run_score(k, j);
+                if cand > dp[b][j] {
+                    dp[b][j] = cand;
+                    parent[b][j] = k;
+                }
+            }
+        }
+    }
+
+    // Best block count <= b_max (using fewer bundles is allowed).
+    let mut best_b = 1;
+    for b in 1..=b_max {
+        if dp[b][n] > dp[best_b][n] {
+            best_b = b;
+        }
+    }
+
+    // Reconstruct run boundaries.
+    let mut assignment = vec![0usize; n];
+    let mut j = n;
+    let mut b = best_b;
+    while b > 0 {
+        let k = parent[b][j];
+        for pos in k..j {
+            assignment[order[pos]] = b - 1;
+        }
+        j = k;
+        b -= 1;
+    }
+    (assignment, dp[best_b][n])
+}
+
+impl BundlingStrategy for OptimalDp {
+    fn name(&self) -> &'static str {
+        "optimal"
+    }
+
+    fn bundle(&self, market: &dyn TransitMarket, n_bundles: usize) -> Result<Bundling> {
+        if n_bundles == 0 {
+            return Err(TransitError::ZeroBundles);
+        }
+        let n = market.n_flows();
+        if n == 0 {
+            return Err(TransitError::EmptyFlowSet);
+        }
+        let terms = market.score_terms();
+
+        let mut best: Option<(Vec<usize>, f64)> = None;
+        for key in ORDERINGS {
+            let values = Self::key_values(key, market);
+            let mut order: Vec<usize> = (0..n).collect();
+            order.sort_by(|&i, &j| {
+                values[i]
+                    .partial_cmp(&values[j])
+                    .expect("ordering keys are finite")
+                    .then(i.cmp(&j))
+            });
+            let (assignment, score) = dp_contiguous(&terms, &order, n_bundles);
+            if best.as_ref().is_none_or(|(_, s)| score > *s) {
+                best = Some((assignment, score));
+            }
+        }
+        let (assignment, _) = best.expect("at least one ordering evaluated");
+        Bundling::new(assignment, n_bundles)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::LinearCost;
+    use crate::demand::ced::CedAlpha;
+    use crate::demand::logit::LogitAlpha;
+    use crate::fitting::{fit_ced, fit_logit};
+    use crate::flow::TrafficFlow;
+    use crate::market::{CedMarket, LogitMarket};
+
+    fn flows(seedish: u64, n: usize) -> Vec<TrafficFlow> {
+        // Deterministic pseudo-random flows without an RNG dependency.
+        (0..n)
+            .map(|i| {
+                let x = ((i as u64 + 1) * (seedish * 2_654_435_761 % 1_000_003)) as f64;
+                let demand = 1.0 + (x % 97.0);
+                let distance = 1.0 + (x % 1409.0);
+                TrafficFlow::new(i as u32, demand, distance)
+            })
+            .collect()
+    }
+
+    fn ced(fs: &[TrafficFlow]) -> CedMarket {
+        CedMarket::new(
+            fit_ced(
+                fs,
+                &LinearCost::new(0.2).unwrap(),
+                CedAlpha::new(1.1).unwrap(),
+                20.0,
+            )
+            .unwrap(),
+        )
+        .unwrap()
+    }
+
+    fn logit(fs: &[TrafficFlow]) -> LogitMarket {
+        LogitMarket::new(
+            fit_logit(
+                fs,
+                &LinearCost::new(0.2).unwrap(),
+                LogitAlpha::new(1.1).unwrap(),
+                20.0,
+                0.2,
+            )
+            .unwrap(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn exhaustive_agrees_with_per_flow_when_bundles_ample() {
+        let fs = flows(3, 5);
+        let m = ced(&fs);
+        let b = OptimalExhaustive.bundle(&m, 5).unwrap();
+        let profit = m.profit(&b).unwrap();
+        assert!((profit - m.max_profit()).abs() / m.max_profit() < 1e-9);
+    }
+
+    #[test]
+    fn exhaustive_single_bundle_is_blended() {
+        let fs = flows(5, 6);
+        let m = ced(&fs);
+        let b = OptimalExhaustive.bundle(&m, 1).unwrap();
+        assert_eq!(b.occupied_bundles(), 1);
+        let profit = m.profit(&b).unwrap();
+        assert!((profit - m.original_profit()).abs() / m.original_profit() < 1e-9);
+    }
+
+    #[test]
+    fn dp_matches_exhaustive_on_small_ced_instances() {
+        for seed in [1u64, 2, 7, 13, 42] {
+            let fs = flows(seed, 8);
+            let m = ced(&fs);
+            for b in 1..=4 {
+                let ex = OptimalExhaustive.bundle(&m, b).unwrap();
+                let dp = OptimalDp::new().bundle(&m, b).unwrap();
+                let pe = m.profit(&ex).unwrap();
+                let pd = m.profit(&dp).unwrap();
+                assert!(
+                    (pe - pd).abs() / pe < 1e-9,
+                    "seed {seed} b {b}: exhaustive {pe} vs dp {pd}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dp_matches_exhaustive_on_small_logit_instances() {
+        for seed in [1u64, 3, 9] {
+            let fs = flows(seed, 7);
+            let m = logit(&fs);
+            for b in 1..=3 {
+                let ex = OptimalExhaustive.bundle(&m, b).unwrap();
+                let dp = OptimalDp::new().bundle(&m, b).unwrap();
+                let pe = m.profit(&ex).unwrap();
+                let pd = m.profit(&dp).unwrap();
+                assert!(
+                    (pe - pd).abs() / pe.abs().max(1e-12) < 1e-9,
+                    "seed {seed} b {b}: exhaustive {pe} vs dp {pd}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dp_profit_is_monotone_in_bundles() {
+        let fs = flows(11, 20);
+        let m = ced(&fs);
+        let mut last = f64::NEG_INFINITY;
+        for b in 1..=6 {
+            let bundling = OptimalDp::new().bundle(&m, b).unwrap();
+            let profit = m.profit(&bundling).unwrap();
+            assert!(
+                profit >= last - 1e-9,
+                "profit decreased at {b} bundles: {profit} < {last}"
+            );
+            last = profit;
+        }
+    }
+
+    #[test]
+    fn dp_dominates_every_heuristic() {
+        use crate::bundling::{StrategyKind};
+        let fs = flows(17, 25);
+        let m = ced(&fs);
+        for b in 1..=6 {
+            let opt = OptimalDp::new().bundle(&m, b).unwrap();
+            let p_opt = m.profit(&opt).unwrap();
+            for kind in [
+                StrategyKind::CostWeighted,
+                StrategyKind::ProfitWeighted,
+                StrategyKind::DemandWeighted,
+                StrategyKind::CostDivision,
+                StrategyKind::IndexDivision,
+            ] {
+                let s = kind.build();
+                let bundling = s.bundle(&m, b).unwrap();
+                let p = m.profit(&bundling).unwrap();
+                assert!(
+                    p <= p_opt + 1e-9,
+                    "{} beat optimal at {b} bundles: {p} > {p_opt}",
+                    kind.label()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn exhaustive_rejects_large_instances() {
+        let fs = flows(1, 20);
+        let m = ced(&fs);
+        match OptimalExhaustive.bundle(&m, 3) {
+            Err(TransitError::InstanceTooLarge { .. }) => {}
+            other => panic!("expected InstanceTooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dp_handles_more_bundles_than_flows() {
+        let fs = flows(2, 3);
+        let m = ced(&fs);
+        let b = OptimalDp::new().bundle(&m, 10).unwrap();
+        let profit = m.profit(&b).unwrap();
+        assert!((profit - m.max_profit()).abs() / m.max_profit() < 1e-9);
+    }
+}

@@ -1,0 +1,179 @@
+//! The paper's token-bucket bundling algorithm (§4.2.1).
+//!
+//! Given per-flow weights, the algorithm gives every bundle an equal token
+//! budget `T/B` (where `T` is the total weight), sorts flows by weight in
+//! decreasing order, and assigns each flow to the first bundle that is
+//! either empty or still has budget, charging the flow's weight against
+//! that bundle and borrowing any overdraft from the next bundle. Heavy
+//! flows therefore end up in dedicated bundles while light flows share —
+//! exactly the paper's worked example (demands 30, 10, 10, 10 into two
+//! bundles → {30} and {10, 10, 10}).
+
+use super::weights::WeightKind;
+use super::{Bundling, BundlingStrategy};
+use crate::error::{Result, TransitError};
+use crate::market::TransitMarket;
+
+/// Token-bucket bundling with a pluggable weight ([`WeightKind`]).
+#[derive(Debug, Clone, Copy)]
+pub struct TokenBucket {
+    kind: WeightKind,
+}
+
+impl TokenBucket {
+    /// Creates the strategy with the given weighting.
+    pub fn new(kind: WeightKind) -> TokenBucket {
+        TokenBucket { kind }
+    }
+
+    /// The weighting in use.
+    pub fn kind(&self) -> WeightKind {
+        self.kind
+    }
+}
+
+/// Core algorithm, exposed for reuse by the class-aware wrapper: buckets
+/// `weights` into `n_bundles` groups, returning each flow's bundle index.
+///
+/// Flows are traversed in decreasing weight order (ties broken by index
+/// for determinism).
+pub fn token_bucket_assign(weights: &[f64], n_bundles: usize) -> Result<Vec<usize>> {
+    if n_bundles == 0 {
+        return Err(TransitError::ZeroBundles);
+    }
+    if weights.is_empty() {
+        return Err(TransitError::EmptyFlowSet);
+    }
+
+    let total: f64 = weights.iter().sum();
+    let mut budget = vec![total / n_bundles as f64; n_bundles];
+    let mut occupied = vec![false; n_bundles];
+    let mut assignment = vec![0usize; weights.len()];
+
+    let mut order: Vec<usize> = (0..weights.len()).collect();
+    order.sort_by(|&i, &j| {
+        weights[j]
+            .partial_cmp(&weights[i])
+            .expect("weights are finite")
+            .then(i.cmp(&j))
+    });
+
+    for &flow in &order {
+        // First bundle that is empty or still has budget; the last bundle
+        // is the unconditional fallback (paper's traversal always
+        // terminates because every bundle starts empty).
+        let mut chosen = n_bundles - 1;
+        for j in 0..n_bundles {
+            if !occupied[j] || budget[j] > 0.0 {
+                chosen = j;
+                break;
+            }
+        }
+        assignment[flow] = chosen;
+        occupied[chosen] = true;
+        budget[chosen] -= weights[flow];
+        if budget[chosen] < 0.0 && chosen + 1 < n_bundles {
+            budget[chosen + 1] += budget[chosen];
+        }
+    }
+    Ok(assignment)
+}
+
+impl BundlingStrategy for TokenBucket {
+    fn name(&self) -> &'static str {
+        match self.kind {
+            WeightKind::Demand => "demand-weighted",
+            WeightKind::InverseCost => "cost-weighted",
+            WeightKind::PotentialProfit => "profit-weighted",
+        }
+    }
+
+    fn bundle(&self, market: &dyn TransitMarket, n_bundles: usize) -> Result<Bundling> {
+        let weights = self.kind.weights(market)?;
+        let assignment = token_bucket_assign(&weights, n_bundles)?;
+        Bundling::new(assignment, n_bundles)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_worked_example() {
+        // §4.2.1: demands 30, 10, 10, 10 into two bundles → first flow in
+        // bundle 0, the rest in bundle 1.
+        let a = token_bucket_assign(&[30.0, 10.0, 10.0, 10.0], 2).unwrap();
+        assert_eq!(a, vec![0, 1, 1, 1]);
+    }
+
+    #[test]
+    fn single_bundle_takes_everything() {
+        let a = token_bucket_assign(&[5.0, 1.0, 3.0], 1).unwrap();
+        assert_eq!(a, vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn n_bundles_geq_flows_gives_one_each() {
+        let a = token_bucket_assign(&[5.0, 1.0, 3.0], 5).unwrap();
+        // Flows traversed by decreasing weight: 5 → b0, 3 → b1 (b0 full),
+        // 1 → b2.
+        assert_eq!(a[0], 0);
+        assert_eq!(a[2], 1);
+        assert_eq!(a[1], 2);
+    }
+
+    #[test]
+    fn overdraft_borrows_from_next_bundle() {
+        // Weights 25, 20, 15 into 2: T = 60, budgets 30/30.
+        // 25 → b0 (budget 5); 20 → b0 (budget −15, borrow → b1 budget 15);
+        // 15 → b1.
+        let a = token_bucket_assign(&[25.0, 20.0, 15.0], 2).unwrap();
+        assert_eq!(a, vec![0, 0, 1]);
+    }
+
+    #[test]
+    fn giant_flow_monopolizes_first_bundle() {
+        let a = token_bucket_assign(&[1000.0, 1.0, 1.0, 1.0, 1.0], 3).unwrap();
+        assert_eq!(a[0], 0);
+        // All small flows avoid bundle 0 (occupied, budget exhausted).
+        for &b in &a[1..] {
+            assert_ne!(b, 0);
+        }
+    }
+
+    #[test]
+    fn equal_weights_spread_evenly() {
+        let a = token_bucket_assign(&[1.0; 6], 3).unwrap();
+        let mut counts = [0usize; 3];
+        for &b in &a {
+            counts[b] += 1;
+        }
+        assert_eq!(counts, [2, 2, 2]);
+    }
+
+    #[test]
+    fn deterministic_under_ties() {
+        let w = [2.0, 2.0, 2.0, 2.0];
+        let a1 = token_bucket_assign(&w, 2).unwrap();
+        let a2 = token_bucket_assign(&w, 2).unwrap();
+        assert_eq!(a1, a2);
+        // Tie-break by index: earlier flows first.
+        assert_eq!(a1, vec![0, 0, 1, 1]);
+    }
+
+    #[test]
+    fn every_bundle_index_is_valid() {
+        let w: Vec<f64> = (1..=37).map(|i| i as f64).collect();
+        for b in 1..=8 {
+            let a = token_bucket_assign(&w, b).unwrap();
+            assert!(a.iter().all(|&x| x < b));
+        }
+    }
+
+    #[test]
+    fn rejects_degenerate_input() {
+        assert!(token_bucket_assign(&[], 2).is_err());
+        assert!(token_bucket_assign(&[1.0], 0).is_err());
+    }
+}

@@ -1,0 +1,142 @@
+//! Flow weights for the token-bucket bundling algorithm (§4.2.1).
+//!
+//! The three weighted strategies differ only in how a flow's "size" is
+//! measured when filling bundles:
+//!
+//! * demand-weighted — observed demand `q_i`;
+//! * cost-weighted — inverse unit cost `1/c_i` (so cheap/local flows are
+//!   "large" and get their own bundles, mirroring regional-pricing and
+//!   backplane-peering practice);
+//! * profit-weighted — potential profit when priced alone (Eq. 12 for
+//!   CED; `∝ q_i` for logit, Eq. 13).
+
+use crate::error::{Result, TransitError};
+use crate::market::TransitMarket;
+
+/// Which flow attribute the token-bucket algorithm weights by.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WeightKind {
+    /// Observed demand `q_i`.
+    Demand,
+    /// Inverse unit cost `1/c_i`.
+    InverseCost,
+    /// Potential stand-alone profit (Eq. 12 / Eq. 13).
+    PotentialProfit,
+}
+
+impl WeightKind {
+    /// Display label matching the paper's legends.
+    pub fn label(self) -> &'static str {
+        match self {
+            WeightKind::Demand => "Demand-weighted",
+            WeightKind::InverseCost => "Cost-weighted",
+            WeightKind::PotentialProfit => "Profit-weighted",
+        }
+    }
+
+    /// Computes the per-flow weights for a market. All weights are finite
+    /// and strictly positive.
+    pub fn weights(self, market: &dyn TransitMarket) -> Result<Vec<f64>> {
+        let ws = match self {
+            WeightKind::Demand => market.demands().to_vec(),
+            WeightKind::InverseCost => market.costs().iter().map(|&c| 1.0 / c).collect(),
+            WeightKind::PotentialProfit => market.potential_profits(),
+        };
+        for (i, w) in ws.iter().enumerate() {
+            if !(w.is_finite() && *w > 0.0) {
+                return Err(TransitError::InvalidFlow {
+                    index: i,
+                    reason: "bundling weight must be finite and > 0",
+                });
+            }
+        }
+        Ok(ws)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::LinearCost;
+    use crate::demand::ced::CedAlpha;
+    use crate::demand::logit::LogitAlpha;
+    use crate::fitting::{fit_ced, fit_logit};
+    use crate::flow::TrafficFlow;
+    use crate::market::{CedMarket, LogitMarket};
+
+    fn flows() -> Vec<TrafficFlow> {
+        vec![
+            TrafficFlow::new(0, 100.0, 5.0),
+            TrafficFlow::new(1, 10.0, 500.0),
+            TrafficFlow::new(2, 50.0, 50.0),
+        ]
+    }
+
+    fn ced_market() -> CedMarket {
+        CedMarket::new(
+            fit_ced(
+                &flows(),
+                &LinearCost::new(0.2).unwrap(),
+                CedAlpha::new(1.1).unwrap(),
+                20.0,
+            )
+            .unwrap(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn demand_weights_equal_observed_demand() {
+        let m = ced_market();
+        let ws = WeightKind::Demand.weights(&m).unwrap();
+        assert_eq!(ws, vec![100.0, 10.0, 50.0]);
+    }
+
+    #[test]
+    fn inverse_cost_ranks_local_flows_highest() {
+        let m = ced_market();
+        let ws = WeightKind::InverseCost.weights(&m).unwrap();
+        // Flow 0 is shortest → cheapest → largest weight.
+        assert!(ws[0] > ws[2] && ws[2] > ws[1]);
+    }
+
+    #[test]
+    fn logit_profit_weights_proportional_to_demand() {
+        let m = LogitMarket::new(
+            fit_logit(
+                &flows(),
+                &LinearCost::new(0.2).unwrap(),
+                LogitAlpha::new(1.1).unwrap(),
+                20.0,
+                0.2,
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let profit_ws = WeightKind::PotentialProfit.weights(&m).unwrap();
+        let demand_ws = WeightKind::Demand.weights(&m).unwrap();
+        let ratio0 = profit_ws[0] / demand_ws[0];
+        for (p, q) in profit_ws.iter().zip(&demand_ws) {
+            assert!((p / q - ratio0).abs() < 1e-9, "Eq. 13 proportionality");
+        }
+    }
+
+    #[test]
+    fn ced_profit_weights_favor_cheap_high_demand() {
+        let m = ced_market();
+        let ws = WeightKind::PotentialProfit.weights(&m).unwrap();
+        // Flow 0: highest demand AND cheapest → strictly dominant weight.
+        assert!(ws[0] > ws[1] && ws[0] > ws[2]);
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels = [
+            WeightKind::Demand.label(),
+            WeightKind::InverseCost.label(),
+            WeightKind::PotentialProfit.label(),
+        ];
+        let set: std::collections::HashSet<_> = labels.iter().collect();
+        assert_eq!(set.len(), 3);
+    }
+}

@@ -1,0 +1,239 @@
+//! Profit capture: the paper's headline metric (§4.2.2).
+//!
+//! ```text
+//! capture = (π_new − π_original) / (π_max − π_original)
+//! ```
+//!
+//! where `π_original` is profit at the current blended rate, `π_max` is
+//! the profit of infinitely fine tiers (every flow priced individually),
+//! and `π_new` is the profit of the evaluated bundling with
+//! profit-maximizing per-bundle prices. Capture is 0 at one bundle (the
+//! gamma calibration makes `P0` the optimal blended rate) and 1 when
+//! tiering extracts everything that finer granularity could.
+
+use serde::Serialize;
+
+use crate::bundling::{Bundling, BundlingStrategy};
+use crate::error::Result;
+use crate::market::TransitMarket;
+
+/// Outcome of evaluating one bundling against a market.
+#[derive(Debug, Clone, Serialize)]
+pub struct CaptureOutcome {
+    /// Number of bundles requested.
+    pub n_bundles: usize,
+    /// Profit of the evaluated bundling at optimal per-bundle prices.
+    pub profit: f64,
+    /// Profit at the status-quo blended rate.
+    pub original_profit: f64,
+    /// Profit ceiling (per-flow pricing).
+    pub max_profit: f64,
+    /// The capture ratio (see module docs), clamped to finite values.
+    pub capture: f64,
+}
+
+/// Computes profit capture for an explicit bundling.
+///
+/// If the market has no headroom (`π_max ≈ π_original`, e.g. all flows
+/// identical), capture is defined as 1.0 — there is nothing left to
+/// capture and any bundling trivially achieves it.
+pub fn capture_for_bundling(
+    market: &dyn TransitMarket,
+    bundling: &Bundling,
+) -> Result<CaptureOutcome> {
+    let profit = market.profit(bundling)?;
+    let original = market.original_profit();
+    let max = market.max_profit();
+    let headroom = max - original;
+    let capture = if headroom.abs() < 1e-12 * max.abs().max(1.0) {
+        1.0
+    } else {
+        (profit - original) / headroom
+    };
+    Ok(CaptureOutcome {
+        n_bundles: bundling.n_bundles(),
+        profit,
+        original_profit: original,
+        max_profit: max,
+        capture,
+    })
+}
+
+/// Runs a strategy at `n_bundles` and computes its profit capture.
+pub fn capture_for_strategy(
+    market: &dyn TransitMarket,
+    strategy: &dyn BundlingStrategy,
+    n_bundles: usize,
+) -> Result<CaptureOutcome> {
+    let bundling = strategy.bundle(market, n_bundles)?;
+    capture_for_bundling(market, &bundling)
+}
+
+/// A capture-vs-bundle-count series for one strategy: the unit of data
+/// behind every curve in Figs. 8–16.
+#[derive(Debug, Clone, Serialize)]
+pub struct CaptureCurve {
+    /// Strategy name.
+    pub strategy: String,
+    /// Bundle counts evaluated (x-axis).
+    pub n_bundles: Vec<usize>,
+    /// Capture at each bundle count (y-axis).
+    pub capture: Vec<f64>,
+    /// Absolute profit at each bundle count.
+    pub profit: Vec<f64>,
+}
+
+/// Evaluates a strategy across `1..=max_bundles`.
+pub fn capture_curve(
+    market: &dyn TransitMarket,
+    strategy: &dyn BundlingStrategy,
+    max_bundles: usize,
+) -> Result<CaptureCurve> {
+    let mut n_bundles = Vec::with_capacity(max_bundles);
+    let mut capture = Vec::with_capacity(max_bundles);
+    let mut profit = Vec::with_capacity(max_bundles);
+    for b in 1..=max_bundles {
+        let out = capture_for_strategy(market, strategy, b)?;
+        n_bundles.push(b);
+        capture.push(out.capture);
+        profit.push(out.profit);
+    }
+    Ok(CaptureCurve {
+        strategy: strategy.name().to_string(),
+        n_bundles,
+        capture,
+        profit,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bundling::{OptimalDp, StrategyKind, TokenBucket, WeightKind};
+    use crate::cost::LinearCost;
+    use crate::demand::ced::CedAlpha;
+    use crate::demand::logit::LogitAlpha;
+    use crate::fitting::{fit_ced, fit_logit};
+    use crate::flow::TrafficFlow;
+    use crate::market::{CedMarket, LogitMarket, TransitMarket};
+
+    fn flows() -> Vec<TrafficFlow> {
+        (0..30)
+            .map(|i| {
+                let x = (i as f64 * 131.7).sin().abs() + 0.01;
+                TrafficFlow::new(i, 1.0 + 120.0 * x, 2.0 + 1400.0 * x * x)
+            })
+            .collect()
+    }
+
+    fn markets() -> Vec<Box<dyn TransitMarket>> {
+        let cost = LinearCost::new(0.2).unwrap();
+        vec![
+            Box::new(
+                CedMarket::new(fit_ced(&flows(), &cost, CedAlpha::new(1.1).unwrap(), 20.0).unwrap())
+                    .unwrap(),
+            ),
+            Box::new(
+                LogitMarket::new(
+                    fit_logit(&flows(), &cost, LogitAlpha::new(1.1).unwrap(), 20.0, 0.2).unwrap(),
+                )
+                .unwrap(),
+            ),
+        ]
+    }
+
+    #[test]
+    fn capture_zero_at_one_bundle() {
+        for m in markets() {
+            let out =
+                capture_for_strategy(m.as_ref(), &TokenBucket::new(WeightKind::Demand), 1).unwrap();
+            assert!(
+                out.capture.abs() < 1e-6,
+                "{:?}: capture at 1 bundle = {}",
+                m.demand_family(),
+                out.capture
+            );
+        }
+    }
+
+    #[test]
+    fn capture_one_at_per_flow_bundling() {
+        for m in markets() {
+            let per_flow = Bundling::per_flow(m.n_flows()).unwrap();
+            let out = capture_for_bundling(m.as_ref(), &per_flow).unwrap();
+            assert!(
+                (out.capture - 1.0).abs() < 1e-6,
+                "{:?}: capture = {}",
+                m.demand_family(),
+                out.capture
+            );
+        }
+    }
+
+    #[test]
+    fn optimal_capture_is_monotone_and_bounded() {
+        for m in markets() {
+            let curve = capture_curve(m.as_ref(), &OptimalDp::new(), 6).unwrap();
+            for w in curve.capture.windows(2) {
+                assert!(w[1] >= w[0] - 1e-9, "optimal capture decreased: {w:?}");
+            }
+            for &c in &curve.capture {
+                assert!((-1e-9..=1.0 + 1e-9).contains(&c), "capture out of range: {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn optimal_dominates_heuristics_pointwise() {
+        for m in markets() {
+            let optimal = capture_curve(m.as_ref(), &OptimalDp::new(), 5).unwrap();
+            for kind in [StrategyKind::ProfitWeighted, StrategyKind::CostDivision] {
+                let curve = capture_curve(m.as_ref(), kind.build().as_ref(), 5).unwrap();
+                for (o, h) in optimal.capture.iter().zip(&curve.capture) {
+                    assert!(h <= &(o + 1e-9));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn headline_claim_three_to_four_bundles_capture_90_percent() {
+        // The paper's core result on a heterogeneous market.
+        for m in markets() {
+            let curve = capture_curve(m.as_ref(), &OptimalDp::new(), 4).unwrap();
+            assert!(
+                curve.capture[3] >= 0.90,
+                "{:?}: capture at 4 bundles = {}",
+                m.demand_family(),
+                curve.capture[3]
+            );
+        }
+    }
+
+    #[test]
+    fn degenerate_market_has_capture_one() {
+        // Identical flows: no headroom; capture defined as 1.
+        let flows: Vec<TrafficFlow> = (0..5).map(|i| TrafficFlow::new(i, 10.0, 50.0)).collect();
+        let m = CedMarket::new(
+            fit_ced(
+                &flows,
+                &LinearCost::new(0.2).unwrap(),
+                CedAlpha::new(1.5).unwrap(),
+                20.0,
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let out = capture_for_strategy(&m, &TokenBucket::new(WeightKind::Demand), 3).unwrap();
+        assert!((out.capture - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn curve_shape_matches_requested_range() {
+        let m = &markets()[0];
+        let curve = capture_curve(m.as_ref(), &OptimalDp::new(), 6).unwrap();
+        assert_eq!(curve.n_bundles, vec![1, 2, 3, 4, 5, 6]);
+        assert_eq!(curve.capture.len(), 6);
+        assert_eq!(curve.profit.len(), 6);
+    }
+}

@@ -1,0 +1,91 @@
+//! Destination-type cost model (paper §3.3, "Function of destination
+//! type").
+//!
+//! ISPs sell "on-net" routes (to their own customers) at a discount because
+//! the traffic is paid for on both ends, while "off-net" traffic to peers
+//! is paid only once; the paper models this by making off-net traffic twice
+//! as costly as on-net traffic. Like the regional model (and unlike the
+//! distance models), cost is purely class-based — two cost levels — which
+//! is why §4.3.1 finds "most profit is attained with two bundles". The
+//! traffic split itself — which fraction `theta` of each flow's demand is
+//! on-net "at each distance" — is a property of the *flow set*, produced
+//! by [`split_by_dest_class`](crate::flow::split_by_dest_class).
+
+use super::{check_costs, CostModel};
+use crate::error::Result;
+use crate::flow::TrafficFlow;
+
+/// On-net/off-net cost: `f = 1` for on-net flows, `f = 2` for off-net
+/// flows.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DestTypeCost {
+    _private: (),
+}
+
+impl DestTypeCost {
+    /// Creates the model. It has no free parameters of its own; the on-net
+    /// traffic fraction `theta` lives in the flow split (see module docs),
+    /// so [`CostModel::theta`] reports 0.
+    pub fn new() -> DestTypeCost {
+        DestTypeCost { _private: () }
+    }
+}
+
+impl CostModel for DestTypeCost {
+    fn name(&self) -> &'static str {
+        "dest-type"
+    }
+
+    fn theta(&self) -> f64 {
+        0.0
+    }
+
+    fn relative_costs(&self, flows: &[TrafficFlow]) -> Result<Vec<f64>> {
+        crate::flow::validate_flows(flows)?;
+        let costs: Vec<f64> = flows
+            .iter()
+            .map(|f| f.dest_class.cost_multiplier())
+            .collect();
+        check_costs(flows, &costs)?;
+        Ok(costs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::{split_by_dest_class, DestClass};
+
+    #[test]
+    fn off_net_costs_double() {
+        let flows = vec![
+            TrafficFlow::new(0, 1.0, 40.0).with_dest_class(DestClass::OnNet),
+            TrafficFlow::new(1, 1.0, 40.0).with_dest_class(DestClass::OffNet),
+        ];
+        let costs = DestTypeCost::new().relative_costs(&flows).unwrap();
+        assert_eq!(costs, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn composes_with_flow_split() {
+        // One 10 Mbps flow, 30% on-net: the split yields two subflows
+        // whose costs differ exactly 2x.
+        let flows = vec![TrafficFlow::new(0, 10.0, 100.0)];
+        let split = split_by_dest_class(&flows, 0.3).unwrap();
+        let costs = DestTypeCost::new().relative_costs(&split).unwrap();
+        assert_eq!(costs, vec![1.0, 2.0]);
+        assert!((split[0].demand_mbps - 3.0).abs() < 1e-12);
+        assert!((split[1].demand_mbps - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distance_does_not_affect_cost() {
+        // Purely class-based, like the regional model: two cost levels.
+        let flows = vec![
+            TrafficFlow::new(0, 1.0, 10.0).with_dest_class(DestClass::OnNet),
+            TrafficFlow::new(1, 1.0, 3000.0).with_dest_class(DestClass::OnNet),
+        ];
+        let costs = DestTypeCost::new().relative_costs(&flows).unwrap();
+        assert_eq!(costs[0], costs[1]);
+    }
+}

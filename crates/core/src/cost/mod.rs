@@ -1,0 +1,154 @@
+//! ISP cost models (paper §3.3).
+//!
+//! Costs in the transit market are unobservable, so the paper models four
+//! *relative* cost families, each with a tuning parameter `theta`, and later
+//! reconciles them with prices through a scale factor `gamma` solved during
+//! model fitting (§4.1.3):
+//!
+//! * [`LinearCost`] — cost grows linearly with distance plus a base cost.
+//! * [`ConcaveCost`] — cost grows as `a·log_b(d) + c` plus a base cost,
+//!   the shape fitted to ITU/NTT leased-line price lists (Fig. 6).
+//! * [`RegionalCost`] — three price levels (metro/national/international)
+//!   with ratio `k^theta`, `k ∈ {1,2,3}`.
+//! * [`DestTypeCost`] — "on-net" traffic costs half of "off-net" traffic.
+//!
+//! A cost model maps a flow set to a vector of **relative** unit costs
+//! `f(d_i)`; absolute unit costs are `c_i = gamma * f(d_i)` once `gamma` is
+//! calibrated. Base costs are defined relative to the *maximum* distance
+//! component over the flow set (`beta = theta * max_j f0(d_j)`), so the
+//! trait operates on whole flow sets rather than single flows.
+
+mod concave;
+mod dest_type;
+mod linear;
+mod regional;
+
+pub use concave::ConcaveCost;
+pub use dest_type::DestTypeCost;
+pub use linear::LinearCost;
+pub use regional::RegionalCost;
+
+use crate::error::{Result, TransitError};
+use crate::flow::TrafficFlow;
+
+/// A relative cost model: maps each flow to the pre-scaling cost `f(d_i)`.
+pub trait CostModel {
+    /// Short machine-friendly name (used in experiment output).
+    fn name(&self) -> &'static str;
+
+    /// The model's tuning parameter `theta` (semantics differ per model;
+    /// see each model's docs).
+    fn theta(&self) -> f64;
+
+    /// Computes the relative unit cost of every flow. The result has the
+    /// same length as `flows` and every entry is finite and `> 0`.
+    fn relative_costs(&self, flows: &[TrafficFlow]) -> Result<Vec<f64>>;
+}
+
+/// Validates the output contract of [`CostModel::relative_costs`]:
+/// right length, all entries finite and strictly positive.
+pub(crate) fn check_costs(flows: &[TrafficFlow], costs: &[f64]) -> Result<()> {
+    if costs.len() != flows.len() {
+        return Err(TransitError::InvalidBundling {
+            reason: "cost model returned wrong number of costs",
+        });
+    }
+    for (i, c) in costs.iter().enumerate() {
+        if !(c.is_finite() && *c > 0.0) {
+            return Err(TransitError::InvalidFlow {
+                index: i,
+                reason: "cost model produced a non-finite or non-positive cost",
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Identifies one of the four cost families; convenient for sweeping all of
+/// them in the experiment harness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CostFamily {
+    /// [`LinearCost`].
+    Linear,
+    /// [`ConcaveCost`].
+    Concave,
+    /// [`RegionalCost`].
+    Regional,
+    /// [`DestTypeCost`].
+    DestType,
+}
+
+impl CostFamily {
+    /// All four families in paper order.
+    pub const ALL: [CostFamily; 4] = [
+        CostFamily::Linear,
+        CostFamily::Concave,
+        CostFamily::Regional,
+        CostFamily::DestType,
+    ];
+
+    /// Instantiates the family with the given `theta`.
+    pub fn build(self, theta: f64) -> Result<Box<dyn CostModel + Send + Sync>> {
+        Ok(match self {
+            CostFamily::Linear => Box::new(LinearCost::new(theta)?),
+            CostFamily::Concave => Box::new(ConcaveCost::paper_fit(theta)?),
+            CostFamily::Regional => Box::new(RegionalCost::new(theta)?),
+            CostFamily::DestType => Box::new(DestTypeCost::new()),
+        })
+    }
+
+    /// Display name.
+    pub fn label(self) -> &'static str {
+        match self {
+            CostFamily::Linear => "linear",
+            CostFamily::Concave => "concave",
+            CostFamily::Regional => "regional",
+            CostFamily::DestType => "dest-type",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::TrafficFlow;
+
+    fn flows() -> Vec<TrafficFlow> {
+        vec![
+            TrafficFlow::new(0, 5.0, 1.0),
+            TrafficFlow::new(1, 5.0, 10.0),
+            TrafficFlow::new(2, 5.0, 100.0),
+        ]
+    }
+
+    #[test]
+    fn all_families_produce_valid_costs() {
+        for fam in CostFamily::ALL {
+            let theta = match fam {
+                CostFamily::Regional => 1.0,
+                _ => 0.2,
+            };
+            let model = fam.build(theta).unwrap();
+            let costs = model.relative_costs(&flows()).unwrap();
+            check_costs(&flows(), &costs).unwrap();
+        }
+    }
+
+    #[test]
+    fn family_labels_are_distinct() {
+        let labels: std::collections::HashSet<_> =
+            CostFamily::ALL.iter().map(|f| f.label()).collect();
+        assert_eq!(labels.len(), 4);
+    }
+
+    #[test]
+    fn check_costs_rejects_wrong_length() {
+        assert!(check_costs(&flows(), &[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn check_costs_rejects_nonpositive() {
+        assert!(check_costs(&flows(), &[1.0, 0.0, 2.0]).is_err());
+        assert!(check_costs(&flows(), &[1.0, f64::NAN, 2.0]).is_err());
+    }
+}

@@ -1,0 +1,332 @@
+//! Logit discrete-choice demand, paper §3.2.2.
+//!
+//! Each of `K` consumers picks the flow maximizing
+//! `u_ij = alpha (v_i − p_i) + ε_ij` with Gumbel-distributed `ε`, or an
+//! outside option of utility `ε_0j` (value 0 + noise). This yields market
+//! shares
+//!
+//! ```text
+//! s_i(P) = e^{alpha(v_i − p_i)} / (Σ_j e^{alpha(v_j − p_j)} + 1)     (Eq. 6)
+//! Q_i(P) = K · s_i(P)                                               (Eq. 7)
+//! Π(P)   = K Σ_i s_i(P)(p_i − c_i)                                  (Eq. 8)
+//! ```
+//!
+//! with the no-purchase share `s0 = 1/(Σ_j e^{alpha(v_j − p_j)} + 1)`.
+//!
+//! Bundles (flows constrained to share one price) aggregate exactly:
+//!
+//! ```text
+//! v_bundle = ln(Σ e^{alpha v_i}) / alpha                            (Eq. 10)
+//! c_bundle = Σ c_i e^{alpha v_i} / Σ e^{alpha v_i}                  (Eq. 11)
+//! ```
+//!
+//! because at a common price `p`, `Σ_{i∈b} e^{alpha(v_i − p)} =
+//! e^{alpha(v_b − p)}` and the expected unit cost of a consumer choosing
+//! within the bundle is the softmax-weighted mean (Eq. 11). All share
+//! computations use log-sum-exp for numerical stability.
+
+use crate::demand::log_sum_exp;
+use crate::error::{check_positive, Result, TransitError};
+
+/// Validated logit price-sensitivity parameter (`alpha > 0`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogitAlpha(f64);
+
+impl LogitAlpha {
+    /// Validates `alpha > 0` (logit admits any positive sensitivity,
+    /// unlike CED which needs `alpha > 1`).
+    pub fn new(alpha: f64) -> Result<LogitAlpha> {
+        if alpha.is_finite() && alpha > 0.0 {
+            Ok(LogitAlpha(alpha))
+        } else {
+            Err(TransitError::InvalidParameter {
+                name: "alpha",
+                value: alpha,
+                expected: "alpha > 0 for logit demand",
+            })
+        }
+    }
+
+    /// The raw value.
+    pub fn get(self) -> f64 {
+        self.0
+    }
+}
+
+/// Market shares `(s_1..s_n, s0)` at the given prices (Eq. 6).
+///
+/// Returns the per-flow shares and the outside-option share; all are in
+/// `(0, 1)` and sum to 1.
+pub fn shares(valuations: &[f64], prices: &[f64], alpha: LogitAlpha) -> Result<(Vec<f64>, f64)> {
+    if valuations.is_empty() || valuations.len() != prices.len() {
+        return Err(TransitError::InvalidBundling {
+            reason: "shares needs equal-length, non-empty valuations and prices",
+        });
+    }
+    let a = alpha.get();
+    // Utilities including the outside option's utility 0.
+    let mut exponents: Vec<f64> = valuations
+        .iter()
+        .zip(prices)
+        .map(|(&v, &p)| a * (v - p))
+        .collect();
+    exponents.push(0.0);
+    let lse = log_sum_exp(&exponents);
+    let s: Vec<f64> = exponents[..valuations.len()]
+        .iter()
+        .map(|&x| (x - lse).exp())
+        .collect();
+    let s0 = (-lse).exp();
+    Ok((s, s0))
+}
+
+/// Demands `Q_i = K s_i` at the given prices (Eq. 7).
+pub fn quantities(
+    valuations: &[f64],
+    prices: &[f64],
+    alpha: LogitAlpha,
+    consumers: f64,
+) -> Result<Vec<f64>> {
+    check_positive("consumers", consumers)?;
+    let (s, _) = shares(valuations, prices, alpha)?;
+    Ok(s.into_iter().map(|si| si * consumers).collect())
+}
+
+/// Total profit `K Σ s_i (p_i − c_i)` at the given prices (Eq. 8).
+pub fn total_profit(
+    valuations: &[f64],
+    prices: &[f64],
+    costs: &[f64],
+    alpha: LogitAlpha,
+    consumers: f64,
+) -> Result<f64> {
+    if costs.len() != valuations.len() {
+        return Err(TransitError::InvalidBundling {
+            reason: "profit needs equal-length valuations and costs",
+        });
+    }
+    check_positive("consumers", consumers)?;
+    let (s, _) = shares(valuations, prices, alpha)?;
+    Ok(consumers
+        * s.iter()
+            .zip(prices)
+            .zip(costs)
+            .map(|((&si, &p), &c)| si * (p - c))
+            .sum::<f64>())
+}
+
+/// Aggregate valuation of a bundle priced uniformly (Eq. 10):
+/// `v_b = ln(Σ e^{alpha v_i})/alpha`, computed via log-sum-exp.
+pub fn bundle_valuation(valuations: &[f64], alpha: LogitAlpha) -> Result<f64> {
+    if valuations.is_empty() {
+        return Err(TransitError::EmptyFlowSet);
+    }
+    let a = alpha.get();
+    let exps: Vec<f64> = valuations.iter().map(|&v| a * v).collect();
+    Ok(log_sum_exp(&exps) / a)
+}
+
+/// Aggregate unit cost of a bundle (Eq. 11): the `e^{alpha v}`-weighted
+/// (softmax) mean of member costs, i.e. the expected delivery cost of a
+/// consumer who chooses within the bundle at a uniform price.
+pub fn bundle_cost(valuations: &[f64], costs: &[f64], alpha: LogitAlpha) -> Result<f64> {
+    if valuations.is_empty() || valuations.len() != costs.len() {
+        return Err(TransitError::InvalidBundling {
+            reason: "bundle cost needs equal-length, non-empty valuations and costs",
+        });
+    }
+    let a = alpha.get();
+    // Softmax weights computed stably.
+    let max_v = valuations.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for (&v, &c) in valuations.iter().zip(costs) {
+        let w = (a * (v - max_v)).exp();
+        num += c * w;
+        den += w;
+    }
+    Ok(num / den)
+}
+
+/// Expected consumer surplus under logit: `K/alpha · ln(Σ e^{alpha(v_j −
+/// p_j)} + 1)` (the standard log-inclusive-value formula; the `+1` is the
+/// outside option). Used by `transit-market` for welfare accounting.
+pub fn consumer_surplus(
+    valuations: &[f64],
+    prices: &[f64],
+    alpha: LogitAlpha,
+    consumers: f64,
+) -> Result<f64> {
+    if valuations.is_empty() || valuations.len() != prices.len() {
+        return Err(TransitError::InvalidBundling {
+            reason: "surplus needs equal-length, non-empty valuations and prices",
+        });
+    }
+    check_positive("consumers", consumers)?;
+    let a = alpha.get();
+    let mut exponents: Vec<f64> = valuations
+        .iter()
+        .zip(prices)
+        .map(|(&v, &p)| a * (v - p))
+        .collect();
+    exponents.push(0.0);
+    Ok(consumers / a * log_sum_exp(&exponents))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn alpha(a: f64) -> LogitAlpha {
+        LogitAlpha::new(a).unwrap()
+    }
+
+    #[test]
+    fn alpha_validation() {
+        assert!(LogitAlpha::new(0.0).is_err());
+        assert!(LogitAlpha::new(-1.0).is_err());
+        assert!(LogitAlpha::new(f64::NAN).is_err());
+        assert!(LogitAlpha::new(0.5).is_ok());
+    }
+
+    #[test]
+    fn shares_sum_to_one_with_outside_option() {
+        let (s, s0) = shares(&[1.6, 1.0], &[1.0, 1.0], alpha(2.0)).unwrap();
+        let total: f64 = s.iter().sum::<f64>() + s0;
+        assert!((total - 1.0).abs() < 1e-12);
+        assert!(s.iter().all(|&x| x > 0.0 && x < 1.0));
+        assert!(s0 > 0.0 && s0 < 1.0);
+    }
+
+    #[test]
+    fn higher_valuation_gets_higher_share() {
+        let (s, _) = shares(&[1.6, 1.0], &[1.0, 1.0], alpha(2.0)).unwrap();
+        assert!(s[0] > s[1]);
+    }
+
+    #[test]
+    fn raising_a_price_lowers_its_share_and_raises_others() {
+        let a = alpha(1.0);
+        let (s_before, s0_before) = shares(&[1.6, 1.0], &[1.0, 1.0], a).unwrap();
+        let (s_after, s0_after) = shares(&[1.6, 1.0], &[2.0, 1.0], a).unwrap();
+        assert!(s_after[0] < s_before[0]);
+        assert!(s_after[1] > s_before[1]);
+        assert!(s0_after > s0_before);
+    }
+
+    #[test]
+    fn demand_is_not_separable() {
+        // Changing flow 1's price changes flow 2's demand — the defining
+        // contrast with CED (§3.2).
+        let a = alpha(1.5);
+        let q1 = quantities(&[1.0, 1.0], &[1.0, 1.0], a, 100.0).unwrap();
+        let q2 = quantities(&[1.0, 1.0], &[3.0, 1.0], a, 100.0).unwrap();
+        assert!(q2[1] > q1[1]);
+    }
+
+    #[test]
+    fn shares_survive_extreme_valuations() {
+        // Would overflow a naive exp implementation.
+        let (s, s0) = shares(&[500.0, 499.0], &[1.0, 1.0], alpha(2.0)).unwrap();
+        assert!(s.iter().all(|x| x.is_finite()));
+        assert!(s0 >= 0.0);
+        assert!((s.iter().sum::<f64>() + s0 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn profit_zero_when_prices_equal_costs() {
+        let pi = total_profit(&[1.0, 2.0], &[0.5, 0.7], &[0.5, 0.7], alpha(1.0), 100.0).unwrap();
+        assert!(pi.abs() < 1e-12);
+    }
+
+    #[test]
+    fn profit_scales_linearly_in_consumers() {
+        let a = alpha(1.2);
+        let p1 = total_profit(&[1.5, 1.0], &[1.0, 0.8], &[0.4, 0.3], a, 100.0).unwrap();
+        let p2 = total_profit(&[1.5, 1.0], &[1.0, 0.8], &[0.4, 0.3], a, 200.0).unwrap();
+        assert!((p2 / p1 - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bundle_valuation_merges_shares_exactly() {
+        // Eq. 10's defining property: at a common price p, the bundle's
+        // share equals the sum of member shares.
+        let a = alpha(1.7);
+        let vs = [1.2, 0.8, 1.5];
+        let p = 1.1;
+        let (member_shares, s0_members) = shares(&vs, &[p, p, p], a).unwrap();
+        let vb = bundle_valuation(&vs, a).unwrap();
+        let (bundle_share, s0_bundle) = shares(&[vb], &[p], a).unwrap();
+        assert!((member_shares.iter().sum::<f64>() - bundle_share[0]).abs() < 1e-12);
+        assert!((s0_members - s0_bundle).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bundle_valuation_of_singleton_is_identity() {
+        let vb = bundle_valuation(&[1.3], alpha(2.0)).unwrap();
+        assert!((vb - 1.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bundle_valuation_exceeds_max_member() {
+        // More options always add inclusive value.
+        let vb = bundle_valuation(&[1.0, 1.0], alpha(1.0)).unwrap();
+        assert!(vb > 1.0);
+        // ln(2e^1)/1 = 1 + ln 2
+        assert!((vb - (1.0 + std::f64::consts::LN_2)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bundle_cost_is_softmax_weighted() {
+        let a = alpha(1.0);
+        // Equal valuations → arithmetic mean of costs.
+        let cb = bundle_cost(&[1.0, 1.0], &[2.0, 4.0], a).unwrap();
+        assert!((cb - 3.0).abs() < 1e-12);
+        // Valuation-dominant member pulls the bundle cost toward its own.
+        let cb = bundle_cost(&[10.0, 1.0], &[2.0, 4.0], a).unwrap();
+        assert!((cb - 2.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn bundle_cost_bounded_by_member_costs() {
+        let cb = bundle_cost(&[1.1, 0.9, 1.4], &[1.0, 5.0, 3.0], alpha(2.0)).unwrap();
+        assert!(cb > 1.0 && cb < 5.0);
+    }
+
+    #[test]
+    fn bundle_profit_equivalence() {
+        // Pricing the aggregate (v_b, c_b) at p must give the same profit
+        // as pricing every member at p — the identity that justifies
+        // bundle-level optimization.
+        let a = alpha(1.3);
+        let vs = [1.2, 0.9, 1.6, 0.4];
+        let cs = [0.5, 0.9, 0.3, 1.1];
+        let p = 1.4;
+        let k = 1000.0;
+        let direct = total_profit(&vs, &[p; 4], &cs, a, k).unwrap();
+        let vb = bundle_valuation(&vs, a).unwrap();
+        let cb = bundle_cost(&vs, &cs, a).unwrap();
+        let aggregated = total_profit(&[vb], &[p], &[cb], a, k).unwrap();
+        assert!(
+            (direct - aggregated).abs() < 1e-9,
+            "direct={direct} aggregated={aggregated}"
+        );
+    }
+
+    #[test]
+    fn consumer_surplus_decreases_in_price() {
+        let a = alpha(1.0);
+        let s1 = consumer_surplus(&[1.5], &[0.5], a, 100.0).unwrap();
+        let s2 = consumer_surplus(&[1.5], &[1.5], a, 100.0).unwrap();
+        assert!(s1 > s2);
+    }
+
+    #[test]
+    fn rejects_length_mismatches() {
+        let a = alpha(1.0);
+        assert!(shares(&[1.0], &[1.0, 2.0], a).is_err());
+        assert!(shares(&[], &[], a).is_err());
+        assert!(bundle_cost(&[1.0, 2.0], &[1.0], a).is_err());
+        assert!(total_profit(&[1.0], &[1.0], &[1.0, 2.0], a, 10.0).is_err());
+    }
+}

@@ -1,0 +1,95 @@
+//! Customer demand models (paper §3.2).
+//!
+//! Two families:
+//!
+//! * [`ced`] — constant-elasticity demand, derived from alpha-fair utility.
+//!   Demands are *separable*: a flow's demand depends only on its own
+//!   price. Appropriate when customers have no substitutes for a
+//!   destination.
+//! * [`logit`] — discrete-choice demand with a Gumbel-distributed
+//!   idiosyncratic preference. Demands are *not* separable: every flow's
+//!   market share depends on all prices, and an outside option ("send no
+//!   traffic") with share `s0` is available. Appropriate when content is
+//!   replicated and destinations compete.
+//!
+//! Both modules expose the raw demand/profit/surplus math; model *fitting*
+//! (valuations from observed traffic, cost scale gamma) lives in
+//! [`crate::fitting`], and profit-maximizing prices in [`crate::pricing`].
+
+pub mod ced;
+pub mod logit;
+
+/// Identifies a demand family; used by the experiment harness to sweep
+/// both.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DemandFamily {
+    /// Constant-elasticity demand (§3.2.1).
+    Ced,
+    /// Logit discrete-choice demand (§3.2.2).
+    Logit,
+}
+
+impl DemandFamily {
+    /// Both families in paper order.
+    pub const ALL: [DemandFamily; 2] = [DemandFamily::Ced, DemandFamily::Logit];
+
+    /// Display name.
+    pub fn label(self) -> &'static str {
+        match self {
+            DemandFamily::Ced => "ced",
+            DemandFamily::Logit => "logit",
+        }
+    }
+}
+
+/// Numerically stable `ln(sum_i exp(x_i))`.
+///
+/// Shared by the logit model (shares, bundle valuation) and the logit
+/// calibration, where exponents `alpha * v_i` can be large enough to
+/// overflow a naive `exp`.
+pub fn log_sum_exp(xs: &[f64]) -> f64 {
+    debug_assert!(!xs.is_empty());
+    let m = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    if m == f64::NEG_INFINITY {
+        return f64::NEG_INFINITY;
+    }
+    m + xs.iter().map(|x| (x - m).exp()).sum::<f64>().ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_sum_exp_matches_naive_for_small_values() {
+        let xs = [0.0, 1.0, -1.0];
+        let naive = xs.iter().map(|x: &f64| x.exp()).sum::<f64>().ln();
+        assert!((log_sum_exp(&xs) - naive).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_sum_exp_survives_large_values() {
+        let xs = [1000.0, 1001.0];
+        let got = log_sum_exp(&xs);
+        // ln(e^1000 + e^1001) = 1001 + ln(1 + e^-1)
+        let expected = 1001.0 + (1.0 + (-1.0f64).exp()).ln();
+        assert!((got - expected).abs() < 1e-9);
+        assert!(got.is_finite());
+    }
+
+    #[test]
+    fn log_sum_exp_single_element() {
+        assert!((log_sum_exp(&[3.5]) - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_sum_exp_all_neg_infinity() {
+        assert_eq!(log_sum_exp(&[f64::NEG_INFINITY]), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn family_labels() {
+        assert_eq!(DemandFamily::Ced.label(), "ced");
+        assert_eq!(DemandFamily::Logit.label(), "logit");
+    }
+}

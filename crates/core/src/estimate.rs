@@ -1,0 +1,235 @@
+//! Estimating demand parameters from observed price changes.
+//!
+//! The paper treats the price sensitivity α as an exogenous sweep
+//! parameter because its data is a single snapshot. Operators usually
+//! have more: past price changes and the demand response to them. This
+//! module inverts the demand models on such observations:
+//!
+//! * CED: two observations `(p1, q1), (p2, q2)` of one flow give
+//!   `alpha = ln(q2/q1) / ln(p1/p2)` exactly (Eq. 2 is iso-elastic).
+//!   With more than two observations, [`estimate_ced_alpha`] runs the
+//!   regression `ln q = alpha·ln v − alpha·ln p` jointly over flows
+//!   (per-flow intercepts, common slope).
+//! * Logit: [`estimate_logit_alpha`] inverts the share-ratio identity
+//!   `ln(s/s0)` being linear in `−alpha·p` for one flow across two
+//!   price points.
+
+use crate::error::{Result, TransitError};
+
+/// One (price, demand) observation of one flow.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PricePoint {
+    /// Unit price charged, $/Mbps/month.
+    pub price: f64,
+    /// Demand observed at that price, Mbps.
+    pub demand: f64,
+}
+
+fn check_points(points: &[PricePoint]) -> Result<()> {
+    if points.len() < 2 {
+        return Err(TransitError::InvalidBundling {
+            reason: "alpha estimation needs at least two price points",
+        });
+    }
+    for (i, p) in points.iter().enumerate() {
+        if !(p.price.is_finite() && p.price > 0.0 && p.demand.is_finite() && p.demand > 0.0) {
+            return Err(TransitError::InvalidFlow {
+                index: i,
+                reason: "price points must have positive finite price and demand",
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Estimates CED α from observations of (possibly several) flows, each a
+/// series of price points. Per-flow valuation intercepts are profiled
+/// out; the pooled slope of `ln q` on `−ln p` is α.
+///
+/// Requires at least one flow with two distinct prices; returns
+/// [`TransitError::InvalidParameter`] if the implied α is not > 1 (the
+/// observations then contradict elastic CED demand).
+pub fn estimate_ced_alpha(flows: &[Vec<PricePoint>]) -> Result<f64> {
+    if flows.is_empty() {
+        return Err(TransitError::EmptyFlowSet);
+    }
+    // Pooled within-flow regression: demean per flow, slope over all.
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut usable = false;
+    for points in flows {
+        check_points(points)?;
+        let n = points.len() as f64;
+        let mean_lnp = points.iter().map(|p| p.price.ln()).sum::<f64>() / n;
+        let mean_lnq = points.iter().map(|p| p.demand.ln()).sum::<f64>() / n;
+        for p in points {
+            let x = -(p.price.ln() - mean_lnp);
+            let y = p.demand.ln() - mean_lnq;
+            sxy += x * y;
+            sxx += x * x;
+            if x.abs() > 1e-12 {
+                usable = true;
+            }
+        }
+    }
+    if !usable || sxx <= 0.0 {
+        return Err(TransitError::InvalidBundling {
+            reason: "alpha estimation needs at least two distinct prices",
+        });
+    }
+    let alpha = sxy / sxx;
+    if !(alpha.is_finite() && alpha > 1.0) {
+        return Err(TransitError::InvalidParameter {
+            name: "alpha",
+            value: alpha,
+            expected: "observations consistent with elastic CED demand (alpha > 1)",
+        });
+    }
+    Ok(alpha)
+}
+
+/// Estimates logit α from one flow's two price points plus the
+/// no-purchase shares observed alongside (`s = q/K`, `s0 = 1 − Σs`):
+/// `alpha = (ln(s1/s01) − ln(s2/s02)) / (p2 − p1)`.
+pub fn estimate_logit_alpha(
+    p1: f64,
+    share1: f64,
+    s01: f64,
+    p2: f64,
+    share2: f64,
+    s02: f64,
+) -> Result<f64> {
+    for (name, v) in [
+        ("p1", p1),
+        ("share1", share1),
+        ("s01", s01),
+        ("p2", p2),
+        ("share2", share2),
+        ("s02", s02),
+    ] {
+        if !(v.is_finite() && v > 0.0) {
+            return Err(TransitError::InvalidParameter {
+                name: "logit observation",
+                value: v,
+                expected: "positive finite prices and shares",
+            });
+        }
+        let _ = name;
+    }
+    if (p2 - p1).abs() < 1e-12 {
+        return Err(TransitError::InvalidBundling {
+            reason: "logit alpha estimation needs two distinct prices",
+        });
+    }
+    let alpha = ((share1 / s01).ln() - (share2 / s02).ln()) / (p2 - p1);
+    if !(alpha.is_finite() && alpha > 0.0) {
+        return Err(TransitError::InvalidParameter {
+            name: "alpha",
+            value: alpha,
+            expected: "observations consistent with logit demand (alpha > 0)",
+        });
+    }
+    Ok(alpha)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::demand::ced::{self, CedAlpha};
+    use crate::demand::logit::{self, LogitAlpha};
+
+    #[test]
+    fn recovers_ced_alpha_from_two_points() {
+        // Generate observations from the model itself.
+        let alpha = CedAlpha::new(1.7).unwrap();
+        let v = 3.0;
+        let points = vec![
+            PricePoint {
+                price: 10.0,
+                demand: ced::quantity(v, 10.0, alpha).unwrap(),
+            },
+            PricePoint {
+                price: 15.0,
+                demand: ced::quantity(v, 15.0, alpha).unwrap(),
+            },
+        ];
+        let est = estimate_ced_alpha(&[points]).unwrap();
+        assert!((est - 1.7).abs() < 1e-10, "est {est}");
+    }
+
+    #[test]
+    fn pools_across_flows_with_different_valuations() {
+        let alpha = CedAlpha::new(2.4).unwrap();
+        let flows: Vec<Vec<PricePoint>> = [1.0f64, 5.0, 20.0]
+            .iter()
+            .map(|&v| {
+                [8.0, 12.0, 18.0]
+                    .iter()
+                    .map(|&p| PricePoint {
+                        price: p,
+                        demand: ced::quantity(v, p, alpha).unwrap(),
+                    })
+                    .collect()
+            })
+            .collect();
+        let est = estimate_ced_alpha(&flows).unwrap();
+        assert!((est - 2.4).abs() < 1e-10, "est {est}");
+    }
+
+    #[test]
+    fn rejects_inelastic_observations() {
+        // Demand barely moves: implied alpha below 1.
+        let points = vec![
+            PricePoint {
+                price: 10.0,
+                demand: 100.0,
+            },
+            PricePoint {
+                price: 20.0,
+                demand: 95.0,
+            },
+        ];
+        assert!(estimate_ced_alpha(&[points]).is_err());
+    }
+
+    #[test]
+    fn rejects_degenerate_inputs() {
+        assert!(estimate_ced_alpha(&[]).is_err());
+        assert!(estimate_ced_alpha(&[vec![PricePoint {
+            price: 10.0,
+            demand: 1.0,
+        }]])
+        .is_err());
+        // Same price twice: no identification.
+        let same = vec![
+            PricePoint {
+                price: 10.0,
+                demand: 1.0,
+            },
+            PricePoint {
+                price: 10.0,
+                demand: 1.0,
+            },
+        ];
+        assert!(estimate_ced_alpha(&[same]).is_err());
+    }
+
+    #[test]
+    fn recovers_logit_alpha() {
+        let alpha = LogitAlpha::new(1.3).unwrap();
+        let vs = [2.0, 1.5];
+        let obs = |p: f64| {
+            let (s, s0) = logit::shares(&vs, &[p, 1.0], alpha).unwrap();
+            (s[0], s0)
+        };
+        let (s1, s01) = obs(1.2);
+        let (s2, s02) = obs(2.0);
+        let est = estimate_logit_alpha(1.2, s1, s01, 2.0, s2, s02).unwrap();
+        assert!((est - 1.3).abs() < 1e-10, "est {est}");
+    }
+
+    #[test]
+    fn logit_rejects_equal_prices() {
+        assert!(estimate_logit_alpha(1.0, 0.3, 0.2, 1.0, 0.3, 0.2).is_err());
+    }
+}

@@ -1,0 +1,270 @@
+//! The §2.1 taxonomy of real-world transit products, as executable
+//! bundling presets.
+//!
+//! The paper opens by cataloguing what ISPs actually sell; each entry
+//! maps onto a *constrained bundling* of the flow set, so every product
+//! can be priced and compared with the unconstrained strategies of §4.2:
+//!
+//! * [`PricingInstrument::BlendedRate`] — one price for everything.
+//! * [`PricingInstrument::PaidPeering`] — on-net routes at one rate,
+//!   off-net transit at another (split by [`DestClass`]).
+//! * [`PricingInstrument::BackplanePeering`] — traffic offloadable to
+//!   peers at the exchange at a discount vs the ISP backbone; modeled as
+//!   a distance threshold (exchange-local vs hauled) since the data's
+//!   observable is distance.
+//! * [`PricingInstrument::RegionalPricing`] — one tier per [`Region`]
+//!   (metro / national / international).
+//!
+//! [`instrument_report`] prices each instrument optimally on a fitted
+//! market and reports its profit capture — quantifying the paper's §4.2.2
+//! observation that "current ISP practices ... map closely to using just
+//! two or three bundles arranged using this cost-weighted strategy".
+
+use crate::bundling::Bundling;
+use crate::error::{Result, TransitError};
+use crate::flow::{DestClass, Region, TrafficFlow};
+use crate::market::TransitMarket;
+
+/// A §2.1 product offering, expressible as a constrained bundling.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PricingInstrument {
+    /// Conventional transit: a single blended rate.
+    BlendedRate,
+    /// On-net routes discounted; off-net transit at the full rate.
+    PaidPeering,
+    /// Exchange-local traffic (distance below the threshold, in miles)
+    /// discounted vs traffic hauled across the backbone.
+    BackplanePeering {
+        /// Distance below which traffic counts as exchange-local.
+        local_miles: f64,
+    },
+    /// One tier per geographic region.
+    RegionalPricing,
+}
+
+impl PricingInstrument {
+    /// Display name as used in §2.1.
+    pub fn label(&self) -> &'static str {
+        match self {
+            PricingInstrument::BlendedRate => "blended rate",
+            PricingInstrument::PaidPeering => "paid peering",
+            PricingInstrument::BackplanePeering { .. } => "backplane peering",
+            PricingInstrument::RegionalPricing => "regional pricing",
+        }
+    }
+
+    /// Number of tiers the instrument sells.
+    pub fn n_tiers(&self) -> usize {
+        match self {
+            PricingInstrument::BlendedRate => 1,
+            PricingInstrument::PaidPeering | PricingInstrument::BackplanePeering { .. } => 2,
+            PricingInstrument::RegionalPricing => 3,
+        }
+    }
+
+    /// Builds the instrument's bundling over a flow set.
+    pub fn bundling(&self, flows: &[TrafficFlow]) -> Result<Bundling> {
+        if flows.is_empty() {
+            return Err(TransitError::EmptyFlowSet);
+        }
+        let assignment: Vec<usize> = match *self {
+            PricingInstrument::BlendedRate => vec![0; flows.len()],
+            PricingInstrument::PaidPeering => flows
+                .iter()
+                .map(|f| match f.dest_class {
+                    DestClass::OnNet => 0,
+                    DestClass::OffNet => 1,
+                })
+                .collect(),
+            PricingInstrument::BackplanePeering { local_miles } => {
+                if !(local_miles.is_finite() && local_miles > 0.0) {
+                    return Err(TransitError::InvalidParameter {
+                        name: "local_miles",
+                        value: local_miles,
+                        expected: "a finite threshold > 0",
+                    });
+                }
+                flows
+                    .iter()
+                    .map(|f| usize::from(f.distance_miles >= local_miles))
+                    .collect()
+            }
+            PricingInstrument::RegionalPricing => flows
+                .iter()
+                .map(|f| match f.region {
+                    Region::Metro => 0,
+                    Region::National => 1,
+                    Region::International => 2,
+                })
+                .collect(),
+        };
+        Bundling::new(assignment, self.n_tiers())
+    }
+}
+
+/// One instrument's priced outcome on a market.
+#[derive(Debug, Clone)]
+pub struct InstrumentOutcome {
+    /// The instrument.
+    pub instrument: PricingInstrument,
+    /// Optimal price per tier (None for empty tiers).
+    pub tier_prices: Vec<Option<f64>>,
+    /// Profit at those prices.
+    pub profit: f64,
+    /// Profit capture vs the per-flow ceiling.
+    pub capture: f64,
+}
+
+/// Prices every instrument optimally on `market` (whose flows must be the
+/// ones the instruments classify).
+pub fn instrument_report(
+    market: &dyn TransitMarket,
+    flows: &[TrafficFlow],
+    instruments: &[PricingInstrument],
+) -> Result<Vec<InstrumentOutcome>> {
+    if flows.len() != market.n_flows() {
+        return Err(TransitError::InvalidBundling {
+            reason: "flow set does not match market",
+        });
+    }
+    let headroom = market.max_profit() - market.original_profit();
+    instruments
+        .iter()
+        .map(|&instrument| {
+            let bundling = instrument.bundling(flows)?;
+            let profit = market.profit(&bundling)?;
+            let capture = if headroom.abs() < 1e-12 {
+                1.0
+            } else {
+                (profit - market.original_profit()) / headroom
+            };
+            Ok(InstrumentOutcome {
+                instrument,
+                tier_prices: market.bundle_prices(&bundling)?,
+                profit,
+                capture,
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::LinearCost;
+    use crate::demand::ced::CedAlpha;
+    use crate::fitting::fit_ced;
+    use crate::flow::split_by_dest_class;
+    use crate::market::CedMarket;
+
+    fn flows() -> Vec<TrafficFlow> {
+        (0..30)
+            .map(|i| {
+                let x = (i as f64 * 0.47).sin().abs() + 0.03;
+                TrafficFlow::new(i, 1.0 + 90.0 * x, 2.0 + 2500.0 * x * x)
+            })
+            .collect()
+    }
+
+    fn market(flows: &[TrafficFlow]) -> CedMarket {
+        CedMarket::new(
+            fit_ced(
+                flows,
+                &LinearCost::new(0.2).unwrap(),
+                CedAlpha::new(1.1).unwrap(),
+                20.0,
+            )
+            .unwrap(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn blended_rate_is_one_bundle() {
+        let fs = flows();
+        let b = PricingInstrument::BlendedRate.bundling(&fs).unwrap();
+        assert_eq!(b.occupied_bundles(), 1);
+    }
+
+    #[test]
+    fn paid_peering_splits_on_dest_class() {
+        let fs = split_by_dest_class(&flows(), 0.3).unwrap();
+        let b = PricingInstrument::PaidPeering.bundling(&fs).unwrap();
+        assert_eq!(b.n_bundles(), 2);
+        for (i, f) in fs.iter().enumerate() {
+            let expect = match f.dest_class {
+                DestClass::OnNet => 0,
+                DestClass::OffNet => 1,
+            };
+            assert_eq!(b.assignment()[i], expect);
+        }
+    }
+
+    #[test]
+    fn backplane_peering_splits_on_distance() {
+        let fs = flows();
+        let b = PricingInstrument::BackplanePeering { local_miles: 100.0 }
+            .bundling(&fs)
+            .unwrap();
+        for (i, f) in fs.iter().enumerate() {
+            assert_eq!(b.assignment()[i], usize::from(f.distance_miles >= 100.0));
+        }
+    }
+
+    #[test]
+    fn regional_pricing_uses_region_labels() {
+        let fs = flows();
+        let b = PricingInstrument::RegionalPricing.bundling(&fs).unwrap();
+        for (i, f) in fs.iter().enumerate() {
+            assert_eq!(b.assignment()[i], f.region.cost_rank() as usize - 1);
+        }
+    }
+
+    #[test]
+    fn report_orders_instruments_sensibly() {
+        // More tiers (that actually track cost) capture more: blended = 0,
+        // and regional >= backplane on distance-derived regions.
+        let fs = flows();
+        let m = market(&fs);
+        let outcomes = instrument_report(
+            &m,
+            &fs,
+            &[
+                PricingInstrument::BlendedRate,
+                PricingInstrument::BackplanePeering { local_miles: 100.0 },
+                PricingInstrument::RegionalPricing,
+            ],
+        )
+        .unwrap();
+        assert!(outcomes[0].capture.abs() < 1e-6, "blended captures nothing");
+        assert!(outcomes[1].capture > 0.1, "two tiers capture something");
+        assert!(
+            outcomes[2].capture >= outcomes[1].capture - 0.05,
+            "regional ({}) roughly >= backplane ({})",
+            outcomes[2].capture,
+            outcomes[1].capture
+        );
+        for o in &outcomes {
+            assert!(o.capture <= 1.0 + 1e-9);
+            assert_eq!(o.tier_prices.len(), o.instrument.n_tiers());
+        }
+    }
+
+    #[test]
+    fn rejects_mismatched_flows_and_bad_threshold() {
+        let fs = flows();
+        let m = market(&fs);
+        assert!(instrument_report(&m, &fs[..3], &[PricingInstrument::BlendedRate]).is_err());
+        assert!(PricingInstrument::BackplanePeering { local_miles: -1.0 }
+            .bundling(&fs)
+            .is_err());
+    }
+
+    #[test]
+    fn labels_and_tier_counts() {
+        assert_eq!(PricingInstrument::BlendedRate.n_tiers(), 1);
+        assert_eq!(PricingInstrument::PaidPeering.n_tiers(), 2);
+        assert_eq!(PricingInstrument::RegionalPricing.n_tiers(), 3);
+        assert_eq!(PricingInstrument::PaidPeering.label(), "paid peering");
+    }
+}

@@ -1,0 +1,644 @@
+//! The fitted transit market: one interface over both demand models.
+//!
+//! [`TransitMarket`] is what bundling strategies and the profit-capture
+//! evaluator operate on. It exposes the fitted primitives (demands, costs,
+//! valuations), computes profit under any [`Bundling`], and — crucial for
+//! tractable optimal bundling — exposes an **additive bundle score**:
+//!
+//! * **CED**: demands are separable, so total profit is literally the sum
+//!   of per-bundle profits. With `A = Σ v_i^alpha` and `C = Σ c_i
+//!   v_i^alpha` over a bundle's members, the optimally-priced bundle earns
+//!   `A/alpha · (alpha·C/((alpha−1)A))^(1−alpha)` — a function of the two
+//!   member sums only.
+//! * **Logit**: maximum total profit is a monotone increasing function of
+//!   `W = Σ_bundles e^{alpha(v_b − c_b)}` (see [`crate::pricing::logit`]),
+//!   and each bundle's contribution `e^{alpha(v_b − c_b)} =
+//!   (Σ e^{alpha v_i}) · e^{−alpha·c_b}` is again a function of two member
+//!   sums (`Σ e^{alpha v_i}` and `Σ c_i e^{alpha v_i}`).
+//!
+//! So for both models, maximizing the *sum of per-bundle scores* over
+//! partitions maximizes profit, and a score is computable in O(1) from two
+//! running sums ([`ScoreTerms`]). The paper brute-forced this search; the
+//! reduction makes the dynamic-programming "Optimal" strategy exact along
+//! any flow ordering and cheap. Logit scores are internally rescaled by a
+//! constant factor (`e^{−max alpha·v}`‑style offset) to avoid overflow;
+//! only comparisons between partition sums are meaningful.
+
+use crate::bundling::Bundling;
+use crate::demand::ced::{self, CedAlpha};
+use crate::demand::logit::{self, LogitAlpha};
+use crate::demand::DemandFamily;
+use crate::error::{Result, TransitError};
+use crate::fitting::{CedFit, LogitFit};
+use crate::pricing::logit as logit_pricing;
+
+/// Per-flow terms enabling O(1) incremental bundle scoring.
+///
+/// A bundle's score is [`ScoreTerms::score`] applied to the sums of `a[i]`
+/// and `b[i]` over its members. Obtained from
+/// [`TransitMarket::score_terms`].
+#[derive(Debug, Clone)]
+pub struct ScoreTerms {
+    /// First per-flow term (`v^alpha` for CED, scaled `e^{alpha v}` for
+    /// logit).
+    pub a: Vec<f64>,
+    /// Second per-flow term (`c·v^alpha` for CED, scaled `c·e^{alpha v}`
+    /// for logit).
+    pub b: Vec<f64>,
+    kind: ScoreKind,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum ScoreKind {
+    Ced { alpha: f64 },
+    Logit { alpha: f64 },
+}
+
+impl ScoreTerms {
+    /// Score of a bundle whose member sums are `sum_a` and `sum_b`.
+    ///
+    /// Additive across bundles; maximizing the partition total maximizes
+    /// market profit. An empty bundle (zero sums) scores 0.
+    pub fn score(&self, sum_a: f64, sum_b: f64) -> f64 {
+        if sum_a <= 0.0 {
+            return 0.0;
+        }
+        match self.kind {
+            ScoreKind::Ced { alpha } => {
+                // Optimal-priced bundle profit from (A, C).
+                let p = alpha * sum_b / ((alpha - 1.0) * sum_a);
+                sum_a / alpha * p.powf(1.0 - alpha)
+            }
+            ScoreKind::Logit { alpha } => {
+                // e^{alpha(v_b - c_b)} up to the constant rescaling baked
+                // into the terms: A · e^{-alpha·(B/A)}.
+                sum_a * (-alpha * (sum_b / sum_a)).exp()
+            }
+        }
+    }
+
+    /// Score of an explicit member set (O(members)).
+    pub fn score_of(&self, members: &[usize]) -> f64 {
+        let mut sa = 0.0;
+        let mut sb = 0.0;
+        for &i in members {
+            sa += self.a[i];
+            sb += self.b[i];
+        }
+        self.score(sa, sb)
+    }
+}
+
+/// A fitted market: the object bundling strategies optimize against.
+pub trait TransitMarket: Send + Sync {
+    /// Which demand family this market uses.
+    fn demand_family(&self) -> DemandFamily;
+
+    /// Number of flows.
+    fn n_flows(&self) -> usize;
+
+    /// Observed demands `q_i` at the blended rate (Mbps).
+    fn demands(&self) -> &[f64];
+
+    /// Fitted valuations `v_i`.
+    fn valuations(&self) -> &[f64];
+
+    /// Fitted absolute unit costs `c_i`.
+    fn costs(&self) -> &[f64];
+
+    /// The blended rate `P0` the market was fitted at.
+    fn blended_rate(&self) -> f64;
+
+    /// Potential profit of each flow if priced alone (Eq. 12 for CED;
+    /// proportional to demand for logit, Eq. 13). Used as profit-weighted
+    /// bundling weights; only relative magnitudes matter.
+    fn potential_profits(&self) -> Vec<f64>;
+
+    /// Per-flow terms for O(1) additive bundle scoring (see module docs).
+    fn score_terms(&self) -> ScoreTerms;
+
+    /// Profit-maximizing price of each bundle under `bundling`; `None` for
+    /// empty bundles.
+    fn bundle_prices(&self, bundling: &Bundling) -> Result<Vec<Option<f64>>>;
+
+    /// Total market profit when flows are bundled per `bundling` and each
+    /// bundle is priced optimally.
+    fn profit(&self, bundling: &Bundling) -> Result<f64>;
+
+    /// Profit at the status quo: the single blended rate `P0`.
+    fn original_profit(&self) -> f64;
+
+    /// Profit ceiling: every flow priced individually ("infinite tiers").
+    fn max_profit(&self) -> f64;
+
+    /// Additive bundle score of a member set (see module docs).
+    fn bundle_score(&self, members: &[usize]) -> f64 {
+        self.score_terms().score_of(members)
+    }
+}
+
+fn check_bundling(bundling: &Bundling, n_flows: usize) -> Result<()> {
+    if bundling.n_flows() != n_flows {
+        return Err(TransitError::InvalidBundling {
+            reason: "bundling flow count does not match market",
+        });
+    }
+    Ok(())
+}
+
+/// CED market (separable demand).
+#[derive(Debug, Clone)]
+pub struct CedMarket {
+    fit: CedFit,
+    original_profit: f64,
+    max_profit: f64,
+}
+
+impl CedMarket {
+    /// Wraps a [`CedFit`], precomputing the status-quo and ceiling profits.
+    pub fn new(fit: CedFit) -> Result<CedMarket> {
+        let n = fit.valuations.len();
+        let p0 = vec![fit.p0; n];
+        let original_profit = ced::total_profit(&fit.valuations, &p0, &fit.costs, fit.alpha)?;
+        let mut max_profit = 0.0;
+        for (&v, &c) in fit.valuations.iter().zip(&fit.costs) {
+            max_profit += ced::potential_profit(v, c, fit.alpha)?;
+        }
+        Ok(CedMarket {
+            fit,
+            original_profit,
+            max_profit,
+        })
+    }
+
+    /// The underlying fit.
+    pub fn fit(&self) -> &CedFit {
+        &self.fit
+    }
+
+    /// The price-sensitivity parameter.
+    pub fn alpha(&self) -> CedAlpha {
+        self.fit.alpha
+    }
+}
+
+impl TransitMarket for CedMarket {
+    fn demand_family(&self) -> DemandFamily {
+        DemandFamily::Ced
+    }
+
+    fn n_flows(&self) -> usize {
+        self.fit.valuations.len()
+    }
+
+    fn demands(&self) -> &[f64] {
+        &self.fit.demands
+    }
+
+    fn valuations(&self) -> &[f64] {
+        &self.fit.valuations
+    }
+
+    fn costs(&self) -> &[f64] {
+        &self.fit.costs
+    }
+
+    fn blended_rate(&self) -> f64 {
+        self.fit.p0
+    }
+
+    fn potential_profits(&self) -> Vec<f64> {
+        self.fit
+            .valuations
+            .iter()
+            .zip(&self.fit.costs)
+            .map(|(&v, &c)| {
+                ced::potential_profit(v, c, self.fit.alpha).expect("fitted values are positive")
+            })
+            .collect()
+    }
+
+    fn score_terms(&self) -> ScoreTerms {
+        let alpha = self.fit.alpha.get();
+        let a: Vec<f64> = self.fit.valuations.iter().map(|&v| v.powf(alpha)).collect();
+        let b: Vec<f64> = a.iter().zip(&self.fit.costs).map(|(&ai, &c)| ai * c).collect();
+        ScoreTerms {
+            a,
+            b,
+            kind: ScoreKind::Ced { alpha },
+        }
+    }
+
+    fn bundle_prices(&self, bundling: &Bundling) -> Result<Vec<Option<f64>>> {
+        check_bundling(bundling, self.n_flows())?;
+        let mut prices = Vec::with_capacity(bundling.n_bundles());
+        for members in bundling.members() {
+            if members.is_empty() {
+                prices.push(None);
+                continue;
+            }
+            let vs: Vec<f64> = members.iter().map(|&i| self.fit.valuations[i]).collect();
+            let cs: Vec<f64> = members.iter().map(|&i| self.fit.costs[i]).collect();
+            prices.push(Some(ced::bundle_price(&vs, &cs, self.fit.alpha)?));
+        }
+        Ok(prices)
+    }
+
+    fn profit(&self, bundling: &Bundling) -> Result<f64> {
+        check_bundling(bundling, self.n_flows())?;
+        let prices = self.bundle_prices(bundling)?;
+        let mut total = 0.0;
+        for (members, price) in bundling.members().iter().zip(&prices) {
+            let Some(p) = price else { continue };
+            for &i in members {
+                total +=
+                    ced::flow_profit(self.fit.valuations[i], *p, self.fit.costs[i], self.fit.alpha)?;
+            }
+        }
+        Ok(total)
+    }
+
+    fn original_profit(&self) -> f64 {
+        self.original_profit
+    }
+
+    fn max_profit(&self) -> f64 {
+        self.max_profit
+    }
+}
+
+/// Logit market (discrete choice with an outside option).
+#[derive(Debug, Clone)]
+pub struct LogitMarket {
+    fit: LogitFit,
+    original_profit: f64,
+    max_profit: f64,
+}
+
+impl LogitMarket {
+    /// Wraps a [`LogitFit`], precomputing the status-quo and ceiling
+    /// profits.
+    pub fn new(fit: LogitFit) -> Result<LogitMarket> {
+        let n = fit.valuations.len();
+        let p0 = vec![fit.p0; n];
+        let original_profit =
+            logit::total_profit(&fit.valuations, &p0, &fit.costs, fit.alpha, fit.consumers)?;
+        let opt = logit_pricing::optimal_prices(&fit.valuations, &fit.costs, fit.alpha)?;
+        let max_profit = fit.consumers * opt.profit_per_consumer;
+        Ok(LogitMarket {
+            fit,
+            original_profit,
+            max_profit,
+        })
+    }
+
+    /// The underlying fit.
+    pub fn fit(&self) -> &LogitFit {
+        &self.fit
+    }
+
+    /// The price-sensitivity parameter.
+    pub fn alpha(&self) -> LogitAlpha {
+        self.fit.alpha
+    }
+
+    /// Consumer population `K`.
+    pub fn consumers(&self) -> f64 {
+        self.fit.consumers
+    }
+
+    /// Aggregates a member set into its bundle valuation and cost
+    /// (Eq. 10–11).
+    fn aggregate(&self, members: &[usize]) -> Result<(f64, f64)> {
+        let vs: Vec<f64> = members.iter().map(|&i| self.fit.valuations[i]).collect();
+        let cs: Vec<f64> = members.iter().map(|&i| self.fit.costs[i]).collect();
+        let vb = logit::bundle_valuation(&vs, self.fit.alpha)?;
+        let cb = logit::bundle_cost(&vs, &cs, self.fit.alpha)?;
+        Ok((vb, cb))
+    }
+}
+
+impl TransitMarket for LogitMarket {
+    fn demand_family(&self) -> DemandFamily {
+        DemandFamily::Logit
+    }
+
+    fn n_flows(&self) -> usize {
+        self.fit.valuations.len()
+    }
+
+    fn demands(&self) -> &[f64] {
+        &self.fit.demands
+    }
+
+    fn valuations(&self) -> &[f64] {
+        &self.fit.valuations
+    }
+
+    fn costs(&self) -> &[f64] {
+        &self.fit.costs
+    }
+
+    fn blended_rate(&self) -> f64 {
+        self.fit.p0
+    }
+
+    fn potential_profits(&self) -> Vec<f64> {
+        // Eq. 13: potential profit is proportional to observed demand, so
+        // the demands themselves serve as weights.
+        self.fit.demands.clone()
+    }
+
+    fn score_terms(&self) -> ScoreTerms {
+        let alpha = self.fit.alpha.get();
+        // Rescale by e^{-alpha·max v} so terms stay in (0, 1]; partition
+        // sums remain comparable (common factor) and cannot overflow.
+        let max_v = self
+            .fit
+            .valuations
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max);
+        let a: Vec<f64> = self
+            .fit
+            .valuations
+            .iter()
+            .map(|&v| (alpha * (v - max_v)).exp())
+            .collect();
+        let b: Vec<f64> = a.iter().zip(&self.fit.costs).map(|(&ai, &c)| ai * c).collect();
+        ScoreTerms {
+            a,
+            b,
+            kind: ScoreKind::Logit { alpha },
+        }
+    }
+
+    fn bundle_prices(&self, bundling: &Bundling) -> Result<Vec<Option<f64>>> {
+        check_bundling(bundling, self.n_flows())?;
+        let members = bundling.members();
+        let occupied: Vec<&Vec<usize>> = members.iter().filter(|m| !m.is_empty()).collect();
+        if occupied.is_empty() {
+            return Err(TransitError::EmptyFlowSet);
+        }
+        let mut vbs = Vec::with_capacity(occupied.len());
+        let mut cbs = Vec::with_capacity(occupied.len());
+        for m in &occupied {
+            let (vb, cb) = self.aggregate(m)?;
+            vbs.push(vb);
+            cbs.push(cb);
+        }
+        let opt = logit_pricing::optimal_prices(&vbs, &cbs, self.fit.alpha)?;
+        let mut out = Vec::with_capacity(members.len());
+        let mut k = 0;
+        for m in &members {
+            if m.is_empty() {
+                out.push(None);
+            } else {
+                out.push(Some(opt.prices[k]));
+                k += 1;
+            }
+        }
+        Ok(out)
+    }
+
+    fn profit(&self, bundling: &Bundling) -> Result<f64> {
+        check_bundling(bundling, self.n_flows())?;
+        // Expand bundle prices back to per-flow prices and evaluate Eq. 8
+        // directly — equivalent to the aggregated computation (see the
+        // bundle_profit_equivalence test in demand::logit) but exercises
+        // the same code path used for arbitrary price vectors.
+        let prices = self.bundle_prices(bundling)?;
+        let mut per_flow = vec![0.0; self.n_flows()];
+        for (flow, &bundle) in bundling.assignment().iter().enumerate() {
+            per_flow[flow] = prices[bundle].expect("flow's own bundle is non-empty");
+        }
+        logit::total_profit(
+            &self.fit.valuations,
+            &per_flow,
+            &self.fit.costs,
+            self.fit.alpha,
+            self.fit.consumers,
+        )
+    }
+
+    fn original_profit(&self) -> f64 {
+        self.original_profit
+    }
+
+    fn max_profit(&self) -> f64 {
+        self.max_profit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::LinearCost;
+    use crate::fitting::{fit_ced, fit_logit};
+    use crate::flow::TrafficFlow;
+
+    fn flows() -> Vec<TrafficFlow> {
+        vec![
+            TrafficFlow::new(0, 120.0, 5.0),
+            TrafficFlow::new(1, 40.0, 60.0),
+            TrafficFlow::new(2, 8.0, 300.0),
+            TrafficFlow::new(3, 2.0, 1500.0),
+            TrafficFlow::new(4, 15.0, 30.0),
+        ]
+    }
+
+    fn ced_market() -> CedMarket {
+        let fit = fit_ced(
+            &flows(),
+            &LinearCost::new(0.2).unwrap(),
+            CedAlpha::new(1.1).unwrap(),
+            20.0,
+        )
+        .unwrap();
+        CedMarket::new(fit).unwrap()
+    }
+
+    fn logit_market() -> LogitMarket {
+        let fit = fit_logit(
+            &flows(),
+            &LinearCost::new(0.2).unwrap(),
+            LogitAlpha::new(1.1).unwrap(),
+            20.0,
+            0.2,
+        )
+        .unwrap();
+        LogitMarket::new(fit).unwrap()
+    }
+
+    fn markets() -> Vec<Box<dyn TransitMarket>> {
+        vec![Box::new(ced_market()), Box::new(logit_market())]
+    }
+
+    #[test]
+    fn single_bundle_profit_equals_original_profit() {
+        // gamma calibration makes P0 the optimal single-bundle price, so
+        // re-optimizing one bundle reproduces the status quo exactly.
+        for m in markets() {
+            let single = Bundling::single(m.n_flows()).unwrap();
+            let pi = m.profit(&single).unwrap();
+            assert!(
+                (pi - m.original_profit()).abs() / m.original_profit() < 1e-8,
+                "{:?}: {} vs {}",
+                m.demand_family(),
+                pi,
+                m.original_profit()
+            );
+        }
+    }
+
+    #[test]
+    fn per_flow_bundling_attains_max_profit() {
+        for m in markets() {
+            let per_flow = Bundling::per_flow(m.n_flows()).unwrap();
+            let pi = m.profit(&per_flow).unwrap();
+            assert!(
+                (pi - m.max_profit()).abs() / m.max_profit() < 1e-8,
+                "{:?}: {} vs {}",
+                m.demand_family(),
+                pi,
+                m.max_profit()
+            );
+        }
+    }
+
+    #[test]
+    fn max_profit_exceeds_original() {
+        for m in markets() {
+            assert!(m.max_profit() > m.original_profit());
+        }
+    }
+
+    #[test]
+    fn intermediate_bundling_profit_is_between() {
+        for m in markets() {
+            let b = Bundling::new(vec![0, 0, 1, 1, 0], 2).unwrap();
+            let pi = m.profit(&b).unwrap();
+            assert!(pi <= m.max_profit() + 1e-9);
+            // Any optimally-priced refinement of the single bundle earns at
+            // least the blended profit... not guaranteed for arbitrary
+            // partitions in general, but holds here; the hard invariant is
+            // the ceiling.
+            assert!(pi.is_finite());
+        }
+    }
+
+    #[test]
+    fn score_sums_rank_partitions_like_profit() {
+        // The additivity theorem: for any two partitions, the one with the
+        // larger score total has the larger optimal profit.
+        for m in markets() {
+            let terms = m.score_terms();
+            let partitions = [
+                Bundling::new(vec![0, 0, 1, 1, 0], 2).unwrap(),
+                Bundling::new(vec![0, 1, 0, 1, 1], 2).unwrap(),
+                Bundling::new(vec![0, 1, 1, 1, 0], 2).unwrap(),
+                Bundling::new(vec![0, 0, 0, 1, 1], 2).unwrap(),
+                Bundling::new(vec![0, 1, 2, 2, 1], 3).unwrap(),
+            ];
+            let mut scored: Vec<(f64, f64)> = partitions
+                .iter()
+                .map(|b| {
+                    let score: f64 = b.members().iter().map(|ms| terms.score_of(ms)).sum();
+                    let profit = m.profit(b).unwrap();
+                    (score, profit)
+                })
+                .collect();
+            scored.sort_by(|x, y| x.0.partial_cmp(&y.0).unwrap());
+            for w in scored.windows(2) {
+                assert!(
+                    w[0].1 <= w[1].1 + 1e-9,
+                    "{:?}: score order violated profit order: {:?}",
+                    m.demand_family(),
+                    w
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ced_bundle_score_is_actual_bundle_profit() {
+        let m = ced_market();
+        let b = Bundling::new(vec![0, 0, 1, 1, 1], 2).unwrap();
+        let total_score: f64 = b
+            .members()
+            .iter()
+            .map(|ms| m.bundle_score(ms))
+            .sum();
+        let profit = m.profit(&b).unwrap();
+        assert!((total_score - profit).abs() / profit < 1e-9);
+    }
+
+    #[test]
+    fn bundle_prices_mark_empty_bundles_none() {
+        for m in markets() {
+            // Bundle 1 of 3 left empty.
+            let b = Bundling::new(vec![0, 0, 2, 2, 2], 3).unwrap();
+            let prices = m.bundle_prices(&b).unwrap();
+            assert!(prices[0].is_some());
+            assert!(prices[1].is_none());
+            assert!(prices[2].is_some());
+        }
+    }
+
+    #[test]
+    fn ced_bundle_prices_exceed_weighted_cost() {
+        let m = ced_market();
+        let b = Bundling::new(vec![0, 0, 1, 1, 0], 2).unwrap();
+        for (price, members) in m.bundle_prices(&b).unwrap().iter().zip(b.members()) {
+            let p = price.unwrap();
+            let min_c = members
+                .iter()
+                .map(|&i| m.costs()[i])
+                .fold(f64::INFINITY, f64::min);
+            assert!(p > min_c);
+        }
+    }
+
+    #[test]
+    fn logit_bundle_prices_share_uniform_markup() {
+        let m = logit_market();
+        let b = Bundling::new(vec![0, 1, 1, 2, 2], 3).unwrap();
+        let prices = m.bundle_prices(&b).unwrap();
+        // Reconstruct each bundle's cost and check price - cost is common.
+        let mut markups = Vec::new();
+        for (price, members) in prices.iter().zip(b.members()) {
+            let p = price.unwrap();
+            let (_, cb) = m.aggregate(&members).unwrap();
+            markups.push(p - cb);
+        }
+        for w in markups.windows(2) {
+            assert!((w[0] - w[1]).abs() < 1e-9, "markups differ: {markups:?}");
+        }
+    }
+
+    #[test]
+    fn profit_rejects_mismatched_bundling() {
+        for m in markets() {
+            let b = Bundling::new(vec![0, 1], 2).unwrap();
+            assert!(m.profit(&b).is_err());
+            assert!(m.bundle_prices(&b).is_err());
+        }
+    }
+
+    #[test]
+    fn more_tiers_never_hurt_under_refinement() {
+        // Refining a partition (splitting one bundle) weakly increases
+        // optimal profit in both models.
+        for m in markets() {
+            let coarse = Bundling::new(vec![0, 0, 0, 1, 1], 2).unwrap();
+            let fine = Bundling::new(vec![0, 0, 2, 1, 1], 3).unwrap();
+            let pi_coarse = m.profit(&coarse).unwrap();
+            let pi_fine = m.profit(&fine).unwrap();
+            assert!(
+                pi_fine >= pi_coarse - 1e-9,
+                "{:?}: refinement decreased profit",
+                m.demand_family()
+            );
+        }
+    }
+}

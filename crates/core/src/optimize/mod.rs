@@ -1,0 +1,29 @@
+//! Generic numerical optimization used by the pricing and fitting layers.
+//!
+//! The paper relies on three kinds of numerical machinery, all small enough
+//! to implement directly rather than pull in a numerics stack (the Rust
+//! ecosystem has no canonical optimization crate, and the problems here are
+//! low-dimensional and smooth):
+//!
+//! * [`golden`] — 1-D golden-section maximization (single-bundle price
+//!   checks, validation of closed forms).
+//! * [`root`] — robust 1-D root finding by bisection with automatic
+//!   bracketing (the logit optimal-markup fixed point of
+//!   [`crate::pricing::logit`]).
+//! * [`gradient`] — projected gradient ascent with numerical gradients
+//!   (the paper's §3.2.2 "heuristic based on gradient descent" for logit
+//!   bundle prices; we use it as a cross-check against the exact solver).
+//! * [`nelder_mead`] + [`least_squares`] — derivative-free simplex descent
+//!   used to fit the concave price-distance curve of Fig. 6.
+
+pub mod golden;
+pub mod gradient;
+pub mod least_squares;
+pub mod nelder_mead;
+pub mod root;
+
+pub use golden::golden_section_max;
+pub use gradient::{gradient_ascent, GradientOptions};
+pub use least_squares::{fit_log_curve, LogCurveFit};
+pub use nelder_mead::{nelder_mead_min, NelderMeadOptions};
+pub use root::bisect_root;

@@ -1,0 +1,89 @@
+//! 1-D root finding by bisection with automatic bracket expansion.
+
+use crate::error::{Result, TransitError};
+
+/// Finds a root of `f` in `[lo, hi]` by bisection.
+///
+/// `f(lo)` and `f(hi)` must have opposite signs (or one of them be zero).
+/// Converges unconditionally for continuous `f`; `tol` bounds the bracket
+/// width at return.
+pub fn bisect_root<F>(mut f: F, mut lo: f64, mut hi: f64, tol: f64) -> Result<f64>
+where
+    F: FnMut(f64) -> f64,
+{
+    if !(lo.is_finite() && hi.is_finite() && lo < hi) {
+        return Err(TransitError::InvalidParameter {
+            name: "bracket",
+            value: hi - lo,
+            expected: "a finite bracket with lo < hi",
+        });
+    }
+    let mut flo = f(lo);
+    let fhi = f(hi);
+    if flo == 0.0 {
+        return Ok(lo);
+    }
+    if fhi == 0.0 {
+        return Ok(hi);
+    }
+    if flo.signum() == fhi.signum() {
+        return Err(TransitError::NoConvergence {
+            solver: "bisection (no sign change on bracket)",
+            iterations: 0,
+        });
+    }
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if (hi - lo).abs() <= tol {
+            return Ok(mid);
+        }
+        let fm = f(mid);
+        if fm == 0.0 {
+            return Ok(mid);
+        }
+        if fm.signum() == flo.signum() {
+            lo = mid;
+            flo = fm;
+        } else {
+            hi = mid;
+        }
+    }
+    Ok(0.5 * (lo + hi))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_sqrt2() {
+        let r = bisect_root(|x| x * x - 2.0, 0.0, 2.0, 1e-12).unwrap();
+        assert!((r - std::f64::consts::SQRT_2).abs() < 1e-10);
+    }
+
+    #[test]
+    fn finds_root_at_endpoint() {
+        assert_eq!(bisect_root(|x| x, 0.0, 1.0, 1e-9).unwrap(), 0.0);
+        assert_eq!(bisect_root(|x| x - 1.0, 0.0, 1.0, 1e-9).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn rejects_same_sign_bracket() {
+        assert!(bisect_root(|x| x * x + 1.0, -1.0, 1.0, 1e-9).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_bracket() {
+        assert!(bisect_root(|x| x, 1.0, 0.0, 1e-9).is_err());
+    }
+
+    #[test]
+    fn solves_logit_markup_equation() {
+        // x - 1 = W e^{-x} for W = 10: the equation behind the logit
+        // optimal markup (see crate::pricing::logit).
+        let w = 10.0f64;
+        let x = bisect_root(|x| (x - 1.0) - w * (-x).exp(), 1.0 + 1e-12, 50.0, 1e-12).unwrap();
+        assert!(((x - 1.0) - w * (-x).exp()).abs() < 1e-9);
+        assert!(x > 1.0);
+    }
+}

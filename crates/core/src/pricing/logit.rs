@@ -1,0 +1,234 @@
+//! Exact profit-maximizing prices for logit demand.
+//!
+//! # Derivation
+//!
+//! Differentiating the logit profit (Eq. 8) gives the paper's first-order
+//! condition (Eq. 9): `p*_i = c_i + 1/(alpha·s0)`, i.e. **every flow
+//! carries the same absolute markup** `m = 1/(alpha·s0)` over its own
+//! cost. The paper solves the resulting circular dependence (s0 depends on
+//! all prices) by gradient descent; it actually collapses to one scalar
+//! equation. Substituting `p_i = c_i + m` into the share expressions:
+//!
+//! ```text
+//! s0 = 1 / (Σ_i e^{alpha(v_i − c_i − m)} + 1)
+//! ```
+//!
+//! Let `W = Σ_i e^{alpha(v_i − c_i)}` and `x = 1/s0 = alpha·m`. Then
+//!
+//! ```text
+//! x − 1 = W·e^{−x}            (monotone: unique root x* > 1)
+//! ```
+//!
+//! so the optimum is a 1-D root find in `x`, after which
+//! `p*_i = c_i + x*/alpha`, `s0* = 1/x*`, and the maximum profit is
+//! `Π* = K·(x* − 1)/alpha` (since `Σ_i s_i = 1 − s0` and every unit earns
+//! margin `m`).
+//!
+//! This holds for any partition of flows into bundles as well, because
+//! Eq. 10/11 aggregation turns each bundle into a single pseudo-flow.
+//! A further consequence used by the optimal-bundling DP: maximum profit
+//! is **monotone increasing in `W`**, and `W` is a *sum of per-bundle
+//! scores* `e^{alpha(v_b − c_b)}` — so bundle choice reduces to maximizing
+//! an additive set function. See
+//! [`crate::market::TransitMarket::bundle_score`].
+//!
+//! Everything is computed in log space (`ln W` via log-sum-exp) so large
+//! `alpha·v` never overflows.
+
+use crate::demand::log_sum_exp;
+use crate::demand::logit::LogitAlpha;
+use crate::error::{Result, TransitError};
+use crate::optimize::bisect_root;
+
+/// The solved logit pricing optimum.
+#[derive(Debug, Clone)]
+pub struct LogitOptimum {
+    /// Profit-maximizing price per flow (or bundle): `c_i + markup`.
+    pub prices: Vec<f64>,
+    /// The common optimal markup `m = x*/alpha`.
+    pub markup: f64,
+    /// The no-purchase share at the optimum, `s0 = 1/x*`.
+    pub s0: f64,
+    /// Profit per consumer, `(x* − 1)/alpha`; multiply by `K` for total.
+    pub profit_per_consumer: f64,
+}
+
+/// Solves `x − 1 = e^{ln_w − x}` for `x > 1` given `ln_w = ln W`.
+///
+/// Works directly in log space: the root satisfies
+/// `ln(x − 1) + x = ln_w`, whose left side is strictly increasing on
+/// `(1, ∞)` from −∞ to ∞, so a unique root always exists.
+pub fn optimal_markup(ln_w: f64, alpha: LogitAlpha) -> Result<f64> {
+    if !ln_w.is_finite() {
+        return Err(TransitError::InvalidParameter {
+            name: "ln_w",
+            value: ln_w,
+            expected: "a finite log-score sum",
+        });
+    }
+    let h = |x: f64| (x - 1.0).ln() + x - ln_w;
+    // Bracket the root: expand upward from just above 1 until h >= 0.
+    let lo = 1.0 + 1e-15;
+    let mut hi = 2.0_f64.max(ln_w + 2.0);
+    let mut iters = 0;
+    while h(hi) < 0.0 {
+        hi *= 2.0;
+        iters += 1;
+        if iters > 200 {
+            return Err(TransitError::NoConvergence {
+                solver: "logit markup bracket expansion",
+                iterations: iters,
+            });
+        }
+    }
+    let x = bisect_root(h, lo, hi, 1e-13)?;
+    Ok(x / alpha.get())
+}
+
+/// Computes the exact profit-maximizing prices for flows (or bundles) with
+/// the given valuations and costs.
+///
+/// ```
+/// use transit_core::demand::logit::LogitAlpha;
+/// use transit_core::pricing::logit::optimal_prices;
+///
+/// let alpha = LogitAlpha::new(1.0)?;
+/// let opt = optimal_prices(&[5.0, 4.0], &[1.0, 2.5], alpha)?;
+/// // Every tier carries the same optimal markup (Eq. 9).
+/// assert!((opt.prices[0] - 1.0 - opt.markup).abs() < 1e-12);
+/// assert!((opt.prices[1] - 2.5 - opt.markup).abs() < 1e-12);
+/// # Ok::<(), transit_core::error::TransitError>(())
+/// ```
+pub fn optimal_prices(
+    valuations: &[f64],
+    costs: &[f64],
+    alpha: LogitAlpha,
+) -> Result<LogitOptimum> {
+    if valuations.is_empty() || valuations.len() != costs.len() {
+        return Err(TransitError::InvalidBundling {
+            reason: "optimal prices need equal-length, non-empty valuations and costs",
+        });
+    }
+    let a = alpha.get();
+    let exponents: Vec<f64> = valuations
+        .iter()
+        .zip(costs)
+        .map(|(&v, &c)| a * (v - c))
+        .collect();
+    let ln_w = log_sum_exp(&exponents);
+    let markup = optimal_markup(ln_w, alpha)?;
+    let x = markup * a;
+    Ok(LogitOptimum {
+        prices: costs.iter().map(|&c| c + markup).collect(),
+        markup,
+        s0: 1.0 / x,
+        profit_per_consumer: (x - 1.0) / a,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::demand::logit::{shares, total_profit};
+    use crate::optimize::{gradient_ascent, GradientOptions};
+
+    fn alpha(a: f64) -> LogitAlpha {
+        LogitAlpha::new(a).unwrap()
+    }
+
+    #[test]
+    fn markup_satisfies_fixed_point() {
+        // Verify Eq. 9 at the solution: m == 1/(alpha * s0(P*)).
+        let a = alpha(1.1);
+        let vs = [20.5, 19.0, 21.3];
+        let cs = [2.0, 1.0, 4.0];
+        let opt = optimal_prices(&vs, &cs, a).unwrap();
+        let (_, s0) = shares(&vs, &opt.prices, a).unwrap();
+        let implied_markup = 1.0 / (a.get() * s0);
+        assert!(
+            (opt.markup - implied_markup).abs() < 1e-9,
+            "markup {} vs implied {}",
+            opt.markup,
+            implied_markup
+        );
+        assert!((opt.s0 - s0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn profit_formula_matches_direct_evaluation() {
+        let a = alpha(0.7);
+        let vs = [5.0, 4.0];
+        let cs = [1.0, 2.5];
+        let k = 1234.0;
+        let opt = optimal_prices(&vs, &cs, a).unwrap();
+        let direct = total_profit(&vs, &opt.prices, &cs, a, k).unwrap();
+        assert!(
+            (direct - k * opt.profit_per_consumer).abs() / direct < 1e-9,
+            "direct {direct} vs formula {}",
+            k * opt.profit_per_consumer
+        );
+    }
+
+    #[test]
+    fn exact_solver_beats_or_matches_gradient_heuristic() {
+        // The paper's gradient-descent heuristic must not out-profit the
+        // exact solution, and should land on (essentially) the same prices.
+        let a = alpha(1.1);
+        let vs = [20.0, 22.0, 18.5, 21.0];
+        let cs = [1.0, 3.0, 0.5, 2.0];
+        let k = 100.0;
+        let exact = optimal_prices(&vs, &cs, a).unwrap();
+        let exact_profit = total_profit(&vs, &exact.prices, &cs, a, k).unwrap();
+
+        let start: Vec<f64> = cs.iter().map(|&c| c + 1.0).collect();
+        let out = gradient_ascent(
+            |p| total_profit(&vs, p, &cs, a, k).unwrap_or(f64::NEG_INFINITY),
+            &start,
+            GradientOptions::default(),
+        )
+        .unwrap();
+        assert!(out.value <= exact_profit + 1e-6);
+        assert!(
+            (out.value - exact_profit).abs() / exact_profit < 1e-4,
+            "gradient {} vs exact {exact_profit}",
+            out.value
+        );
+        for (pg, pe) in out.x.iter().zip(&exact.prices) {
+            assert!((pg - pe).abs() < 1e-2, "price mismatch {pg} vs {pe}");
+        }
+    }
+
+    #[test]
+    fn markup_grows_with_attractiveness() {
+        // Higher net valuations (v - c) mean less elastic residual demand
+        // at the optimum and a larger markup.
+        let a = alpha(1.0);
+        let low = optimal_prices(&[1.0], &[0.5], a).unwrap();
+        let high = optimal_prices(&[10.0], &[0.5], a).unwrap();
+        assert!(high.markup > low.markup);
+        assert!(high.s0 < low.s0);
+    }
+
+    #[test]
+    fn survives_extreme_valuations() {
+        let a = alpha(2.0);
+        let opt = optimal_prices(&[500.0, 498.0], &[1.0, 1.0], a).unwrap();
+        assert!(opt.markup.is_finite() && opt.markup > 0.0);
+        assert!(opt.s0 > 0.0 && opt.s0 < 1.0);
+        assert!(opt.profit_per_consumer.is_finite());
+    }
+
+    #[test]
+    fn singleton_price_exceeds_cost() {
+        let opt = optimal_prices(&[2.0], &[1.5], alpha(1.5)).unwrap();
+        assert!(opt.prices[0] > 1.5);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        let a = alpha(1.0);
+        assert!(optimal_prices(&[], &[], a).is_err());
+        assert!(optimal_prices(&[1.0], &[1.0, 2.0], a).is_err());
+        assert!(optimal_markup(f64::NAN, a).is_err());
+    }
+}

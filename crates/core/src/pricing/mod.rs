@@ -1,0 +1,13 @@
+//! Profit-maximizing price computation.
+//!
+//! CED prices are closed-form (Eq. 4 per flow, Eq. 5 per bundle) and live
+//! in [`crate::demand::ced`]; this module adds the logit solver, which the
+//! paper handles with a gradient-descent heuristic (§3.2.2). We implement
+//! both that heuristic (via [`crate::optimize::gradient`]) and an **exact**
+//! solver derived in [`logit`]: at any optimum, all logit prices share a
+//! single markup `1/(alpha·s0)`, which reduces the joint optimization to a
+//! 1-D fixed point solvable to machine precision.
+
+pub mod logit;
+
+pub use logit::{optimal_markup, optimal_prices, LogitOptimum};

@@ -1,0 +1,201 @@
+//! Small descriptive-statistics helpers used across the workspace.
+//!
+//! Table 1 of the paper characterizes each dataset by four statistics —
+//! demand-weighted average flow distance, coefficient of variation (CV) of
+//! flow distances, aggregate traffic, and CV of flow demands — and §4.2.2
+//! explains the experimental results in terms of those CVs. These helpers
+//! compute them exactly as used there.
+
+/// Arithmetic mean. Returns `None` for an empty slice.
+pub fn mean(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() {
+        None
+    } else {
+        Some(xs.iter().sum::<f64>() / xs.len() as f64)
+    }
+}
+
+/// Population variance (divides by `n`, matching the CV definition used for
+/// dataset characterization rather than sample inference).
+pub fn variance(xs: &[f64]) -> Option<f64> {
+    let m = mean(xs)?;
+    Some(xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64)
+}
+
+/// Population standard deviation.
+pub fn std_dev(xs: &[f64]) -> Option<f64> {
+    variance(xs).map(f64::sqrt)
+}
+
+/// Coefficient of variation: `sigma / mu`. `None` if empty or the mean is 0.
+pub fn coefficient_of_variation(xs: &[f64]) -> Option<f64> {
+    let m = mean(xs)?;
+    if m == 0.0 {
+        return None;
+    }
+    Some(std_dev(xs)? / m)
+}
+
+/// Weighted arithmetic mean of `xs` with weights `ws`.
+///
+/// Used for the paper's "demand-weighted average of flow distances"
+/// (Table 1). Returns `None` on length mismatch, empty input, or zero total
+/// weight.
+pub fn weighted_mean(xs: &[f64], ws: &[f64]) -> Option<f64> {
+    if xs.is_empty() || xs.len() != ws.len() {
+        return None;
+    }
+    let total_w: f64 = ws.iter().sum();
+    if total_w == 0.0 {
+        return None;
+    }
+    Some(xs.iter().zip(ws).map(|(x, w)| x * w).sum::<f64>() / total_w)
+}
+
+/// Weighted coefficient of variation: weighted std-dev over weighted mean.
+pub fn weighted_cv(xs: &[f64], ws: &[f64]) -> Option<f64> {
+    let m = weighted_mean(xs, ws)?;
+    if m == 0.0 {
+        return None;
+    }
+    let total_w: f64 = ws.iter().sum();
+    let var = xs
+        .iter()
+        .zip(ws)
+        .map(|(x, w)| w * (x - m) * (x - m))
+        .sum::<f64>()
+        / total_w;
+    Some(var.sqrt() / m)
+}
+
+/// The `p`-th percentile (0..=100) by linear interpolation between closest
+/// ranks, on a private sorted copy. Returns `None` for an empty slice or a
+/// `p` outside `[0, 100]`.
+///
+/// Used by the 95th-percentile billing model in `transit-routing`.
+pub fn percentile(xs: &[f64], p: f64) -> Option<f64> {
+    if xs.is_empty() || !(0.0..=100.0).contains(&p) {
+        return None;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN input"));
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        return Some(sorted[lo]);
+    }
+    let frac = rank - lo as f64;
+    Some(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+}
+
+/// Lognormal sigma that yields a target coefficient of variation:
+/// for `X ~ LogNormal(mu, sigma)`, `CV^2 = exp(sigma^2) - 1`, hence
+/// `sigma = sqrt(ln(1 + CV^2))`.
+///
+/// The dataset generators use this to hit the demand CVs of Table 1.
+pub fn lognormal_sigma_for_cv(cv: f64) -> f64 {
+    (1.0 + cv * cv).ln().sqrt()
+}
+
+/// Lognormal mu that yields a target mean given sigma:
+/// `E[X] = exp(mu + sigma^2/2)`, hence `mu = ln(mean) - sigma^2/2`.
+pub fn lognormal_mu_for_mean(mean: f64, sigma: f64) -> f64 {
+    mean.ln() - sigma * sigma / 2.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f64 = 1e-12;
+
+    #[test]
+    fn mean_of_simple_slice() {
+        assert!((mean(&[1.0, 2.0, 3.0]).unwrap() - 2.0).abs() < EPS);
+        assert_eq!(mean(&[]), None);
+    }
+
+    #[test]
+    fn variance_and_std_dev() {
+        // Population variance of [2,4,4,4,5,5,7,9] is 4.
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((variance(&xs).unwrap() - 4.0).abs() < EPS);
+        assert!((std_dev(&xs).unwrap() - 2.0).abs() < EPS);
+    }
+
+    #[test]
+    fn cv_is_scale_invariant() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let scaled: Vec<f64> = xs.iter().map(|x| x * 37.0).collect();
+        let a = coefficient_of_variation(&xs).unwrap();
+        let b = coefficient_of_variation(&scaled).unwrap();
+        assert!((a - b).abs() < EPS);
+    }
+
+    #[test]
+    fn cv_of_constant_is_zero() {
+        assert!(coefficient_of_variation(&[5.0, 5.0, 5.0]).unwrap().abs() < EPS);
+    }
+
+    #[test]
+    fn weighted_mean_matches_unweighted_for_equal_weights() {
+        let xs = [1.0, 5.0, 9.0];
+        let ws = [2.0, 2.0, 2.0];
+        assert!((weighted_mean(&xs, &ws).unwrap() - 5.0).abs() < EPS);
+    }
+
+    #[test]
+    fn weighted_mean_respects_weights() {
+        // All weight on the second element.
+        assert!((weighted_mean(&[1.0, 7.0], &[0.0, 3.0]).unwrap() - 7.0).abs() < EPS);
+    }
+
+    #[test]
+    fn weighted_mean_rejects_mismatch_and_zero_weight() {
+        assert_eq!(weighted_mean(&[1.0], &[1.0, 2.0]), None);
+        assert_eq!(weighted_mean(&[1.0], &[0.0]), None);
+        assert_eq!(weighted_mean(&[], &[]), None);
+    }
+
+    #[test]
+    fn weighted_cv_zero_for_constant() {
+        assert!(weighted_cv(&[3.0, 3.0], &[1.0, 9.0]).unwrap().abs() < EPS);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let xs = [10.0, 20.0, 30.0, 40.0];
+        assert!((percentile(&xs, 0.0).unwrap() - 10.0).abs() < EPS);
+        assert!((percentile(&xs, 100.0).unwrap() - 40.0).abs() < EPS);
+        assert!((percentile(&xs, 50.0).unwrap() - 25.0).abs() < EPS);
+        // 95th percentile of 4 samples: rank 2.85 → 30 + 0.85*10 = 38.5.
+        assert!((percentile(&xs, 95.0).unwrap() - 38.5).abs() < EPS);
+    }
+
+    #[test]
+    fn percentile_handles_unsorted_input() {
+        let xs = [40.0, 10.0, 30.0, 20.0];
+        assert!((percentile(&xs, 50.0).unwrap() - 25.0).abs() < EPS);
+    }
+
+    #[test]
+    fn percentile_rejects_bad_input() {
+        assert_eq!(percentile(&[], 50.0), None);
+        assert_eq!(percentile(&[1.0], -1.0), None);
+        assert_eq!(percentile(&[1.0], 101.0), None);
+    }
+
+    #[test]
+    fn lognormal_parameterization_roundtrip() {
+        let cv = 1.71; // EU ISP demand CV from Table 1
+        let sigma = lognormal_sigma_for_cv(cv);
+        // Implied CV back from sigma.
+        let implied_cv = ((sigma * sigma).exp() - 1.0).sqrt();
+        assert!((implied_cv - cv).abs() < 1e-9);
+
+        let mu = lognormal_mu_for_mean(10.0, sigma);
+        let implied_mean = (mu + sigma * sigma / 2.0).exp();
+        assert!((implied_mean - 10.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,36 @@
+//! # transit-datasets
+//!
+//! The data substrate standing in for the paper's proprietary traces
+//! (§4.1.1, Table 1): seeded synthetic datasets for the EU transit ISP,
+//! the international CDN, and Internet2, calibrated so that aggregate
+//! demand and demand CV match Table 1 **exactly** and the demand-weighted
+//! distance moments match closely (geography-quantized); see DESIGN.md for
+//! the substitution argument.
+//!
+//! * [`spec`] — Table 1 targets and stats computed per the paper's
+//!   definitions.
+//! * [`demand_gen`] — stratified lognormal demands with exact CV/sum
+//!   calibration.
+//! * [`generator`] — the three dataset builders over real geography.
+//! * [`pricelists`] — synthetic ITU/NTT leased-line price lists (Fig. 6
+//!   inputs) regenerated from the paper's published fitted curves.
+//! * [`pipeline`] — dataset → packets → sampled NetFlow → collector →
+//!   model flows, closing the measurement loop end to end.
+//! * [`io`] — CSV import/export so operators can analyze their own
+//!   traffic tables.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod demand_gen;
+pub mod generator;
+pub mod io;
+pub mod pipeline;
+pub mod pricelists;
+pub mod spec;
+
+pub use generator::{generate, Dataset};
+pub use io::{read_flows_csv, write_flows_csv, CsvError};
+pub use pipeline::{run_pipeline, PipelineConfig, PipelineOutput};
+pub use pricelists::{combined_pricelist, itu_pricelist, ntt_pricelist, PriceList};
+pub use spec::{DatasetStats, Network, Table1Row};

@@ -1,0 +1,66 @@
+//! Shared experiment configuration (the paper's §4.2.2 defaults).
+
+use serde::Serialize;
+
+/// Global knobs shared by the experiment runners.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct ExperimentConfig {
+    /// RNG seed for dataset generation.
+    pub seed: u64,
+    /// Flows per synthetic dataset.
+    pub n_flows: usize,
+    /// CED/logit price sensitivity (paper default 1.1).
+    pub alpha: f64,
+    /// Blended rate the markets are fitted at (paper default $20).
+    pub p0: f64,
+    /// Cost-model tuning parameter (paper default 0.2 for linear cost).
+    pub theta: f64,
+    /// Logit no-purchase share (paper default 0.2).
+    pub s0: f64,
+    /// Largest bundle count evaluated (paper plots 1–6).
+    pub max_bundles: usize,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> ExperimentConfig {
+        ExperimentConfig {
+            seed: 42,
+            n_flows: 400,
+            alpha: 1.1,
+            p0: 20.0,
+            theta: 0.2,
+            s0: 0.2,
+            max_bundles: 6,
+        }
+    }
+}
+
+impl ExperimentConfig {
+    /// A reduced configuration for fast CI runs and benches.
+    pub fn quick() -> ExperimentConfig {
+        ExperimentConfig {
+            n_flows: 120,
+            ..ExperimentConfig::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = ExperimentConfig::default();
+        assert_eq!(c.alpha, 1.1);
+        assert_eq!(c.p0, 20.0);
+        assert_eq!(c.theta, 0.2);
+        assert_eq!(c.s0, 0.2);
+        assert_eq!(c.max_bundles, 6);
+    }
+
+    #[test]
+    fn quick_is_smaller() {
+        assert!(ExperimentConfig::quick().n_flows < ExperimentConfig::default().n_flows);
+    }
+}

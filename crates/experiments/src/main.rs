@@ -1,0 +1,113 @@
+//! Command-line driver for the experiment harness.
+
+use std::process::ExitCode;
+
+use transit_experiments::{run, ExperimentConfig, ALL_IDS, EXTENSION_IDS, SENSITIVITY_IDS};
+
+fn usage() -> String {
+    format!(
+        "usage: transit-experiments <experiment|all|full|ext> [--json] [--chart] [--quick] [--flows N] [--seed S] [--out DIR]\n\
+         experiments: {} {} {}",
+        ALL_IDS.join(" "),
+        SENSITIVITY_IDS.join(" "),
+        EXTENSION_IDS.join(" ")
+    )
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("{}", usage());
+        return ExitCode::FAILURE;
+    }
+    let mut target: Option<String> = None;
+    let mut json = false;
+    let mut chart = false;
+    let mut out_dir: Option<std::path::PathBuf> = None;
+    let mut config = ExperimentConfig::default();
+    let mut it = args.iter().peekable();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--chart" => chart = true,
+            "--quick" => config = ExperimentConfig { n_flows: ExperimentConfig::quick().n_flows, ..config },
+            "--flows" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => config.n_flows = n,
+                None => {
+                    eprintln!("--flows needs a number\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--seed" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(s) => config.seed = s,
+                None => {
+                    eprintln!("--seed needs a number\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--out" => match it.next() {
+                Some(dir) => out_dir = Some(std::path::PathBuf::from(dir)),
+                None => {
+                    eprintln!("--out needs a directory\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
+            other if target.is_none() => target = Some(other.to_string()),
+            other => {
+                eprintln!("unexpected argument {other:?}\n{}", usage());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let Some(target) = target else {
+        eprintln!("{}", usage());
+        return ExitCode::FAILURE;
+    };
+
+    let ids: Vec<&str> = match target.as_str() {
+        "all" => ALL_IDS.to_vec(),
+        "full" => ALL_IDS
+            .iter()
+            .chain(SENSITIVITY_IDS.iter())
+            .chain(EXTENSION_IDS.iter())
+            .copied()
+            .collect(),
+        "ext" => EXTENSION_IDS.to_vec(),
+        id => vec![id],
+    };
+
+    for id in ids {
+        match run(id, &config) {
+            Ok(Some(result)) => {
+                if let Some(dir) = &out_dir {
+                    if let Err(e) = std::fs::create_dir_all(dir).and_then(|()| {
+                        std::fs::write(dir.join(format!("{id}.json")), result.to_json())?;
+                        std::fs::write(dir.join(format!("{id}.txt")), result.render_text())
+                    }) {
+                        eprintln!("failed to write {id} output: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                    println!("wrote {}/{id}.json and .txt", dir.display());
+                } else if json {
+                    println!("{}", result.to_json());
+                } else {
+                    println!("{}", result.render_text());
+                    if chart {
+                        for f in &result.figures {
+                            println!("{}", transit_experiments::output::render_ascii_chart(f, 60, 14));
+                        }
+                    }
+                }
+            }
+            Ok(None) => {
+                eprintln!("unknown experiment {id:?}\n{}", usage());
+                return ExitCode::FAILURE;
+            }
+            Err(e) => {
+                eprintln!("experiment {id} failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,64 @@
+//! Market construction helpers: dataset + cost model + demand family →
+//! fitted market.
+
+use transit_core::cost::CostModel;
+use transit_core::demand::ced::CedAlpha;
+use transit_core::demand::logit::LogitAlpha;
+use transit_core::demand::DemandFamily;
+use transit_core::error::Result;
+use transit_core::fitting::{fit_ced, fit_logit};
+use transit_core::flow::TrafficFlow;
+use transit_core::market::{CedMarket, LogitMarket, TransitMarket};
+use transit_datasets::{generate, Network};
+
+use crate::config::ExperimentConfig;
+
+/// Builds the flows for a network under a config.
+pub fn flows_for(network: Network, config: &ExperimentConfig) -> Vec<TrafficFlow> {
+    generate(network, config.n_flows, config.seed).flows
+}
+
+/// Fits a market of the requested demand family over `flows`.
+pub fn fit_market(
+    family: DemandFamily,
+    flows: &[TrafficFlow],
+    cost_model: &dyn CostModel,
+    config: &ExperimentConfig,
+) -> Result<Box<dyn TransitMarket>> {
+    Ok(match family {
+        DemandFamily::Ced => {
+            let fit = fit_ced(flows, cost_model, CedAlpha::new(config.alpha)?, config.p0)?;
+            Box::new(CedMarket::new(fit)?)
+        }
+        DemandFamily::Logit => {
+            let fit = fit_logit(
+                flows,
+                cost_model,
+                LogitAlpha::new(config.alpha)?,
+                config.p0,
+                config.s0,
+            )?;
+            Box::new(LogitMarket::new(fit)?)
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use transit_core::cost::LinearCost;
+
+    #[test]
+    fn builds_both_families_for_all_networks() {
+        let config = ExperimentConfig::quick();
+        let cost = LinearCost::new(config.theta).unwrap();
+        for network in Network::ALL {
+            let flows = flows_for(network, &config);
+            for family in DemandFamily::ALL {
+                let market = fit_market(family, &flows, &cost, &config).unwrap();
+                assert_eq!(market.n_flows(), config.n_flows);
+                assert!(market.max_profit() > market.original_profit());
+            }
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! One runner per paper table/figure, plus the registry that maps
+//! experiment ids to runners.
+
+pub mod accounting_fig;
+pub mod capture_figs;
+pub mod cost_figs;
+pub mod extensions;
+pub mod illustrations;
+pub mod sensitivity;
+pub mod table1;
+
+use transit_core::error::Result;
+
+use crate::config::ExperimentConfig;
+use crate::output::ExperimentResult;
+
+/// Every experiment id, in paper order.
+pub const ALL_IDS: [&str; 14] = [
+    "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "table1", "fig8", "fig9", "fig10",
+    "fig11", "fig12", "fig13", "fig17",
+];
+
+/// Sensitivity experiments (slower; separated so `all` can run them
+/// last and `quick` configurations matter most).
+pub const SENSITIVITY_IDS: [&str; 3] = ["fig14", "fig15", "fig16"];
+
+/// Extension experiments beyond the paper (see `runners::extensions`).
+pub const EXTENSION_IDS: [&str; 5] = ["ext1", "ext2", "ext3", "ext4", "summary"];
+
+/// Runs one experiment by id.
+pub fn run(id: &str, config: &ExperimentConfig) -> Result<Option<ExperimentResult>> {
+    Ok(Some(match id {
+        "fig1" => illustrations::fig1()?,
+        "fig2" => illustrations::fig2()?,
+        "fig3" => illustrations::fig3()?,
+        "fig4" => illustrations::fig4()?,
+        "fig5" => illustrations::fig5()?,
+        "fig6" => illustrations::fig6()?,
+        "table1" => table1::table1(config)?,
+        "fig8" => capture_figs::fig8(config)?,
+        "fig9" => capture_figs::fig9(config)?,
+        "fig10" => cost_figs::fig10(config)?,
+        "fig11" => cost_figs::fig11(config)?,
+        "fig12" => cost_figs::fig12(config)?,
+        "fig13" => cost_figs::fig13(config)?,
+        "fig14" => sensitivity::fig14(config)?,
+        "fig15" => sensitivity::fig15(config)?,
+        "fig16" => sensitivity::fig16(config)?,
+        "fig17" => accounting_fig::fig17(config)?,
+        "ext1" => extensions::ext_strategies(config)?,
+        "ext2" => extensions::ext_competition()?,
+        "ext3" => extensions::ext_response(config)?,
+        "ext4" => extensions::ext_welfare(config)?,
+        "summary" => extensions::summary(config)?,
+        _ => return Ok(None),
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_knows_every_listed_id() {
+        let config = ExperimentConfig {
+            n_flows: 40,
+            ..ExperimentConfig::quick()
+        };
+        // Cheap smoke for the cheap experiments; heavy ones have their
+        // own module tests.
+        for id in ["fig1", "fig2", "fig3", "fig4", "fig5", "fig6"] {
+            let out = run(id, &config).unwrap();
+            assert!(out.is_some(), "{id} missing");
+        }
+        assert!(run("fig99", &config).unwrap().is_none());
+    }
+
+    #[test]
+    fn id_lists_are_disjoint() {
+        for id in SENSITIVITY_IDS {
+            assert!(!ALL_IDS.contains(&id));
+        }
+        for id in EXTENSION_IDS {
+            assert!(!ALL_IDS.contains(&id));
+            assert!(!SENSITIVITY_IDS.contains(&id));
+        }
+    }
+}

@@ -1,0 +1,227 @@
+//! A compact world-city database with real coordinates.
+//!
+//! The paper's datasets are anchored to real geography: the EU ISP's PoPs
+//! sit in European metros, the CDN reaches global destinations via GeoIP,
+//! and Internet2's routers sit in US cities. This table provides the same
+//! anchoring for the synthetic substitutes — ~90 major cities with ISO
+//! country codes and approximate populations (used as demand attraction
+//! weights by the dataset generators).
+
+use serde::{Deserialize, Serialize};
+
+use crate::coord::Coord;
+
+/// One city record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct City {
+    /// City name.
+    pub name: &'static str,
+    /// ISO 3166-1 alpha-2 country code.
+    pub country: &'static str,
+    /// Location.
+    pub coord: Coord,
+    /// Approximate metro population in millions (demand weight).
+    pub population_m: f64,
+}
+
+macro_rules! city {
+    ($name:literal, $cc:literal, $lat:literal, $lon:literal, $pop:literal) => {
+        City {
+            name: $name,
+            country: $cc,
+            coord: Coord {
+                lat: $lat,
+                lon: $lon,
+            },
+            population_m: $pop,
+        }
+    };
+}
+
+/// European cities (EU-ISP-like networks).
+pub const EUROPE: &[City] = &[
+    city!("London", "GB", 51.5074, -0.1278, 14.3),
+    city!("Paris", "FR", 48.8566, 2.3522, 13.0),
+    city!("Amsterdam", "NL", 52.3676, 4.9041, 2.5),
+    city!("Frankfurt", "DE", 50.1109, 8.6821, 2.7),
+    city!("Berlin", "DE", 52.5200, 13.4050, 6.1),
+    city!("Munich", "DE", 48.1351, 11.5820, 2.9),
+    city!("Hamburg", "DE", 53.5511, 9.9937, 3.2),
+    city!("Madrid", "ES", 40.4168, -3.7038, 6.7),
+    city!("Barcelona", "ES", 41.3851, 2.1734, 5.6),
+    city!("Rome", "IT", 41.9028, 12.4964, 4.3),
+    city!("Milan", "IT", 45.4642, 9.1900, 4.3),
+    city!("Vienna", "AT", 48.2082, 16.3738, 2.9),
+    city!("Zurich", "CH", 47.3769, 8.5417, 1.4),
+    city!("Brussels", "BE", 50.8503, 4.3517, 2.1),
+    city!("Warsaw", "PL", 52.2297, 21.0122, 3.1),
+    city!("Prague", "CZ", 50.0755, 14.4378, 2.7),
+    city!("Budapest", "HU", 47.4979, 19.0402, 3.0),
+    city!("Stockholm", "SE", 59.3293, 18.0686, 2.4),
+    city!("Copenhagen", "DK", 55.6761, 12.5683, 2.1),
+    city!("Oslo", "NO", 59.9139, 10.7522, 1.6),
+    city!("Helsinki", "FI", 60.1699, 24.9384, 1.5),
+    city!("Dublin", "IE", 53.3498, -6.2603, 2.0),
+    city!("Lisbon", "PT", 38.7223, -9.1393, 2.9),
+    city!("Athens", "GR", 37.9838, 23.7275, 3.2),
+    city!("Bucharest", "RO", 44.4268, 26.1025, 2.3),
+    city!("Sofia", "BG", 42.6977, 23.3219, 1.7),
+    city!("Lyon", "FR", 45.7640, 4.8357, 2.4),
+    city!("Marseille", "FR", 43.2965, 5.3698, 1.9),
+    city!("Rotterdam", "NL", 51.9244, 4.4777, 1.0),
+    city!("Dusseldorf", "DE", 51.2277, 6.7735, 1.6),
+    city!("Manchester", "GB", 53.4808, -2.2426, 2.9),
+    city!("Zagreb", "HR", 45.8150, 15.9819, 1.2),
+];
+
+/// US cities (Internet2-like networks).
+pub const US: &[City] = &[
+    city!("New York", "US", 40.7128, -74.0060, 19.5),
+    city!("Los Angeles", "US", 34.0522, -118.2437, 12.5),
+    city!("Chicago", "US", 41.8781, -87.6298, 9.5),
+    city!("Houston", "US", 29.7604, -95.3698, 7.1),
+    city!("Atlanta", "US", 33.7490, -84.3880, 6.1),
+    city!("Washington", "US", 38.9072, -77.0369, 6.3),
+    city!("Seattle", "US", 47.6062, -122.3321, 4.0),
+    city!("Denver", "US", 39.7392, -104.9903, 3.0),
+    city!("Salt Lake City", "US", 40.7608, -111.8910, 1.3),
+    city!("Kansas City", "US", 39.0997, -94.5786, 2.2),
+    city!("Indianapolis", "US", 39.7684, -86.1581, 2.1),
+    city!("Dallas", "US", 32.7767, -96.7970, 7.6),
+    city!("San Francisco", "US", 37.7749, -122.4194, 4.7),
+    city!("San Jose", "US", 37.3382, -121.8863, 2.0),
+    city!("Miami", "US", 25.7617, -80.1918, 6.1),
+    city!("Boston", "US", 42.3601, -71.0589, 4.9),
+    city!("Philadelphia", "US", 39.9526, -75.1652, 6.2),
+    city!("Phoenix", "US", 33.4484, -112.0740, 4.9),
+    city!("Minneapolis", "US", 44.9778, -93.2650, 3.7),
+    city!("Portland", "US", 45.5051, -122.6750, 2.5),
+    city!("Raleigh", "US", 35.7796, -78.6382, 1.4),
+    city!("Pittsburgh", "US", 40.4406, -79.9959, 2.3),
+    city!("Detroit", "US", 42.3314, -83.0458, 4.3),
+    city!("St. Louis", "US", 38.6270, -90.1994, 2.8),
+    city!("Nashville", "US", 36.1627, -86.7816, 2.0),
+];
+
+/// Cities outside Europe and the US (global CDN reach).
+pub const REST_OF_WORLD: &[City] = &[
+    city!("Tokyo", "JP", 35.6762, 139.6503, 37.4),
+    city!("Osaka", "JP", 34.6937, 135.5023, 19.3),
+    city!("Seoul", "KR", 37.5665, 126.9780, 25.6),
+    city!("Beijing", "CN", 39.9042, 116.4074, 20.4),
+    city!("Shanghai", "CN", 31.2304, 121.4737, 27.1),
+    city!("Hong Kong", "HK", 22.3193, 114.1694, 7.5),
+    city!("Singapore", "SG", 1.3521, 103.8198, 5.9),
+    city!("Taipei", "TW", 25.0330, 121.5654, 7.0),
+    city!("Mumbai", "IN", 19.0760, 72.8777, 20.4),
+    city!("Delhi", "IN", 28.7041, 77.1025, 30.3),
+    city!("Bangalore", "IN", 12.9716, 77.5946, 12.3),
+    city!("Sydney", "AU", -33.8688, 151.2093, 5.3),
+    city!("Melbourne", "AU", -37.8136, 144.9631, 5.0),
+    city!("Auckland", "NZ", -36.8485, 174.7633, 1.7),
+    city!("Sao Paulo", "BR", -23.5505, -46.6333, 22.0),
+    city!("Rio de Janeiro", "BR", -22.9068, -43.1729, 13.5),
+    city!("Buenos Aires", "AR", -34.6037, -58.3816, 15.2),
+    city!("Santiago", "CL", -33.4489, -70.6693, 6.8),
+    city!("Bogota", "CO", 4.7110, -74.0721, 10.7),
+    city!("Mexico City", "MX", 19.4326, -99.1332, 21.8),
+    city!("Toronto", "CA", 43.6532, -79.3832, 6.2),
+    city!("Vancouver", "CA", 49.2827, -123.1207, 2.6),
+    city!("Montreal", "CA", 45.5017, -73.5673, 4.3),
+    city!("Johannesburg", "ZA", -26.2041, 28.0473, 5.8),
+    city!("Cape Town", "ZA", -33.9249, 18.4241, 4.6),
+    city!("Cairo", "EG", 30.0444, 31.2357, 20.9),
+    city!("Lagos", "NG", 6.5244, 3.3792, 14.4),
+    city!("Nairobi", "KE", -1.2921, 36.8219, 4.7),
+    city!("Dubai", "AE", 25.2048, 55.2708, 3.4),
+    city!("Tel Aviv", "IL", 32.0853, 34.7818, 4.2),
+    city!("Istanbul", "TR", 41.0082, 28.9784, 15.5),
+    city!("Moscow", "RU", 55.7558, 37.6173, 12.5),
+    city!("Jakarta", "ID", -6.2088, 106.8456, 10.6),
+    city!("Bangkok", "TH", 13.7563, 100.5018, 10.5),
+    city!("Manila", "PH", 14.5995, 120.9842, 13.9),
+    city!("Kuala Lumpur", "MY", 3.1390, 101.6869, 7.9),
+];
+
+/// Every city in the database, in a stable order (Europe, US, rest of
+/// world).
+pub fn all_cities() -> Vec<&'static City> {
+    EUROPE
+        .iter()
+        .chain(US.iter())
+        .chain(REST_OF_WORLD.iter())
+        .collect()
+}
+
+/// Looks a city up by name (exact match).
+pub fn by_name(name: &str) -> Option<&'static City> {
+    all_cities().into_iter().find(|c| c.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn database_has_expected_size() {
+        let all = all_cities();
+        assert!(all.len() >= 90, "only {} cities", all.len());
+        assert_eq!(all.len(), EUROPE.len() + US.len() + REST_OF_WORLD.len());
+    }
+
+    #[test]
+    fn all_coordinates_valid() {
+        for c in all_cities() {
+            assert!(
+                Coord::new(c.coord.lat, c.coord.lon).is_some(),
+                "{} has invalid coordinates",
+                c.name
+            );
+            assert!(c.population_m > 0.0);
+            assert_eq!(c.country.len(), 2);
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let all = all_cities();
+        let set: std::collections::HashSet<_> = all.iter().map(|c| c.name).collect();
+        assert_eq!(set.len(), all.len());
+    }
+
+    #[test]
+    fn by_name_finds_and_misses() {
+        assert_eq!(by_name("Frankfurt").unwrap().country, "DE");
+        assert!(by_name("Atlantis").is_none());
+    }
+
+    #[test]
+    fn europe_is_compact_us_is_wide() {
+        // Sanity on the geography driving Table 1's distance averages:
+        // intra-EU distances are much shorter than intra-US ones on
+        // average.
+        let mean_pairwise = |cities: &[City]| {
+            let mut total = 0.0;
+            let mut n = 0usize;
+            for (i, a) in cities.iter().enumerate() {
+                for b in &cities[i + 1..] {
+                    total += a.coord.distance_miles(&b.coord);
+                    n += 1;
+                }
+            }
+            total / n as f64
+        };
+        let eu = mean_pairwise(EUROPE);
+        let us = mean_pairwise(US);
+        assert!(eu < us, "EU mean {eu} should be below US mean {us}");
+    }
+
+    #[test]
+    fn known_cross_continent_distance() {
+        let fra = by_name("Frankfurt").unwrap();
+        let tyo = by_name("Tokyo").unwrap();
+        let d = fra.coord.distance_miles(&tyo.coord);
+        // Frankfurt–Tokyo ≈ 5,800 miles.
+        assert!((d - 5800.0).abs() < 120.0, "d = {d}");
+    }
+}

@@ -1,0 +1,287 @@
+//! Synthetic GeoIP database: IPv4 prefix → location lookup.
+//!
+//! The paper geolocates CDN flow destinations with MaxMind's GeoIP
+//! database (reference \[17\]) to estimate flow distances and classify flows into
+//! metro/national/international tiers. That database is proprietary; this
+//! module provides a deterministic synthetic equivalent with the same
+//! query semantics: each `/16` block is assigned to a city from the world
+//! database, with block counts proportional to city population (bigger
+//! metros own more address space, mirroring real allocation skew).
+//!
+//! Lookups are exact-match on the /16 (the allocation unit), so the
+//! structure is a flat table rather than a longest-prefix trie — the
+//! routing crate owns the real LPM trie.
+
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+use crate::cities::{all_cities, City};
+use crate::coord::Coord;
+
+/// Result of a GeoIP lookup.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Location {
+    /// City name.
+    pub city: &'static str,
+    /// ISO country code.
+    pub country: &'static str,
+    /// City-level coordinates.
+    pub coord: Coord,
+}
+
+/// Pairwise geographic relationship, mirroring the paper's regional
+/// classification (§3.3): same city → metro, same country → national,
+/// otherwise international.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GeoRelation {
+    /// Same metropolitan area.
+    SameCity,
+    /// Same country, different metro.
+    SameCountry,
+    /// Different countries.
+    International,
+}
+
+/// A deterministic synthetic GeoIP database.
+///
+/// ```
+/// use transit_geo::GeoIpDb;
+///
+/// let db = GeoIpDb::world();
+/// let addr = db.representative_addr("Tokyo").unwrap();
+/// assert_eq!(db.lookup(addr).unwrap().city, "Tokyo");
+/// assert_eq!(db.lookup(addr).unwrap().country, "JP");
+/// ```
+#[derive(Debug, Clone)]
+pub struct GeoIpDb {
+    /// /16 block (upper 16 bits of the IPv4 address) → city index.
+    blocks: HashMap<u16, usize>,
+    cities: Vec<&'static City>,
+}
+
+impl GeoIpDb {
+    /// Builds the database over the full world-city table.
+    ///
+    /// Blocks `1.0/16` through roughly `223.255/16` (public unicast space,
+    /// skipping 0/8, 10/8, 127/8, and everything at/above 224/8) are dealt
+    /// to cities round-robin over a population-proportional schedule, so
+    /// the mapping is reproducible across runs and platforms.
+    pub fn world() -> GeoIpDb {
+        GeoIpDb::with_cities(all_cities())
+    }
+
+    /// Builds a database restricted to the given cities (e.g. only
+    /// European metros for an EU-ISP scenario).
+    pub fn with_cities(cities: Vec<&'static City>) -> GeoIpDb {
+        assert!(!cities.is_empty(), "GeoIpDb needs at least one city");
+        // Population-proportional quota per city, at least 1 block.
+        let total_pop: f64 = cities.iter().map(|c| c.population_m).sum();
+        let usable_blocks: Vec<u16> = (0u16..=u16::MAX)
+            .filter(|&b| {
+                let hi = (b >> 8) as u8;
+                (1..224).contains(&hi) && hi != 10 && hi != 127 && hi != 0
+            })
+            .collect();
+        let mut quotas: Vec<usize> = cities
+            .iter()
+            .map(|c| {
+                ((c.population_m / total_pop) * usable_blocks.len() as f64).floor() as usize
+            })
+            .map(|q| q.max(1))
+            .collect();
+        // Trim any overshoot from the largest quota.
+        let mut total: usize = quotas.iter().sum();
+        while total > usable_blocks.len() {
+            let (imax, _) = quotas
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, &q)| q)
+                .expect("non-empty");
+            quotas[imax] -= 1;
+            total -= 1;
+        }
+
+        // Deal blocks city-by-city in deterministic order, then scatter
+        // the assignment with a fixed multiplicative permutation so
+        // adjacent prefixes do not all map to one metro.
+        let mut sequence: Vec<usize> = Vec::with_capacity(total);
+        for (city_idx, &q) in quotas.iter().enumerate() {
+            sequence.extend(std::iter::repeat_n(city_idx, q));
+        }
+        let n = usable_blocks.len();
+        let mut blocks = HashMap::with_capacity(sequence.len());
+        for (i, &city_idx) in sequence.iter().enumerate() {
+            // 40503 is odd and coprime with any power of two; combined
+            // with mod n it spreads the schedule pseudo-uniformly.
+            let slot = (i.wrapping_mul(40503)) % n;
+            // Linear-probe to the next unassigned block.
+            let mut s = slot;
+            while blocks.contains_key(&usable_blocks[s]) {
+                s = (s + 1) % n;
+            }
+            blocks.insert(usable_blocks[s], city_idx);
+        }
+        GeoIpDb { blocks, cities }
+    }
+
+    /// Number of assigned /16 blocks.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// True if the database is empty (never the case for constructors).
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// Looks up an address; `None` for unassigned space (private ranges,
+    /// multicast, etc.).
+    pub fn lookup(&self, addr: Ipv4Addr) -> Option<Location> {
+        let block = ((u32::from(addr)) >> 16) as u16;
+        let &city_idx = self.blocks.get(&block)?;
+        let city = self.cities[city_idx];
+        Some(Location {
+            city: city.name,
+            country: city.country,
+            coord: city.coord,
+        })
+    }
+
+    /// Great-circle distance in miles between two addresses' cities;
+    /// `None` if either is unassigned.
+    pub fn distance_miles(&self, a: Ipv4Addr, b: Ipv4Addr) -> Option<f64> {
+        let la = self.lookup(a)?;
+        let lb = self.lookup(b)?;
+        Some(la.coord.distance_miles(&lb.coord))
+    }
+
+    /// Classifies the relationship between two addresses (paper §3.3's
+    /// GeoIP-based metro/national/international rule); `None` if either is
+    /// unassigned.
+    pub fn relation(&self, a: Ipv4Addr, b: Ipv4Addr) -> Option<GeoRelation> {
+        let la = self.lookup(a)?;
+        let lb = self.lookup(b)?;
+        Some(if la.city == lb.city {
+            GeoRelation::SameCity
+        } else if la.country == lb.country {
+            GeoRelation::SameCountry
+        } else {
+            GeoRelation::International
+        })
+    }
+
+    /// An address guaranteed to geolocate to the given city (the first
+    /// block assigned to it); useful for constructing test traffic.
+    pub fn representative_addr(&self, city_name: &str) -> Option<Ipv4Addr> {
+        let city_idx = self.cities.iter().position(|c| c.name == city_name)?;
+        let mut blocks: Vec<u16> = self
+            .blocks
+            .iter()
+            .filter(|(_, &ci)| ci == city_idx)
+            .map(|(&b, _)| b)
+            .collect();
+        blocks.sort_unstable();
+        let b = *blocks.first()?;
+        Some(Ipv4Addr::from((b as u32) << 16 | 1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn world_db_is_deterministic() {
+        let a = GeoIpDb::world();
+        let b = GeoIpDb::world();
+        let addr = Ipv4Addr::new(8, 8, 8, 8);
+        assert_eq!(a.lookup(addr), b.lookup(addr));
+        assert_eq!(a.len(), b.len());
+    }
+
+    #[test]
+    fn private_and_multicast_space_unassigned() {
+        let db = GeoIpDb::world();
+        assert!(db.lookup(Ipv4Addr::new(10, 1, 2, 3)).is_none());
+        assert!(db.lookup(Ipv4Addr::new(127, 0, 0, 1)).is_none());
+        assert!(db.lookup(Ipv4Addr::new(224, 0, 0, 1)).is_none());
+        assert!(db.lookup(Ipv4Addr::new(0, 1, 2, 3)).is_none());
+        assert!(db.lookup(Ipv4Addr::new(255, 255, 255, 255)).is_none());
+    }
+
+    #[test]
+    fn public_space_is_fully_assigned() {
+        let db = GeoIpDb::world();
+        for addr in [
+            Ipv4Addr::new(1, 1, 1, 1),
+            Ipv4Addr::new(8, 8, 8, 8),
+            Ipv4Addr::new(93, 184, 216, 34),
+            Ipv4Addr::new(203, 0, 113, 7),
+        ] {
+            assert!(db.lookup(addr).is_some(), "{addr} unassigned");
+        }
+    }
+
+    #[test]
+    fn same_slash16_maps_to_same_city() {
+        let db = GeoIpDb::world();
+        let a = db.lookup(Ipv4Addr::new(93, 184, 1, 1)).unwrap();
+        let b = db.lookup(Ipv4Addr::new(93, 184, 250, 9)).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn population_weights_block_counts() {
+        let db = GeoIpDb::world();
+        let count_for = |name: &str| {
+            let idx = db.cities.iter().position(|c| c.name == name).unwrap();
+            db.blocks.values().filter(|&&ci| ci == idx).count()
+        };
+        // Tokyo (37M) must own far more space than Zurich (1.4M).
+        assert!(count_for("Tokyo") > 10 * count_for("Zurich"));
+    }
+
+    #[test]
+    fn representative_addr_geolocates_correctly() {
+        let db = GeoIpDb::world();
+        for name in ["Tokyo", "London", "New York", "Zurich"] {
+            let addr = db.representative_addr(name).unwrap();
+            assert_eq!(db.lookup(addr).unwrap().city, name);
+        }
+        assert!(db.representative_addr("Atlantis").is_none());
+    }
+
+    #[test]
+    fn relation_classification() {
+        let db = GeoIpDb::world();
+        let tokyo = db.representative_addr("Tokyo").unwrap();
+        let osaka = db.representative_addr("Osaka").unwrap();
+        let london = db.representative_addr("London").unwrap();
+        assert_eq!(db.relation(tokyo, tokyo), Some(GeoRelation::SameCity));
+        assert_eq!(db.relation(tokyo, osaka), Some(GeoRelation::SameCountry));
+        assert_eq!(db.relation(tokyo, london), Some(GeoRelation::International));
+    }
+
+    #[test]
+    fn distance_consistent_with_city_table() {
+        let db = GeoIpDb::world();
+        let fra = db.representative_addr("Frankfurt").unwrap();
+        let tyo = db.representative_addr("Tokyo").unwrap();
+        let d = db.distance_miles(fra, tyo).unwrap();
+        assert!((d - 5800.0).abs() < 120.0);
+    }
+
+    #[test]
+    fn restricted_db_only_maps_to_its_cities() {
+        let db = GeoIpDb::with_cities(crate::cities::EUROPE.iter().collect());
+        for b in [1u8, 50, 100, 200] {
+            if let Some(loc) = db.lookup(Ipv4Addr::new(b, 10, 0, 1)) {
+                assert!(
+                    crate::cities::EUROPE.iter().any(|c| c.name == loc.city),
+                    "{} not European",
+                    loc.city
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,18 @@
+//! # transit-geo
+//!
+//! Geographic substrate for the tiered-transit workspace: coordinates and
+//! great-circle distances ([`coord`]), a compact world-city database with
+//! real coordinates ([`cities`]), and a deterministic synthetic GeoIP
+//! lookup ([`geoip`]) standing in for the proprietary MaxMind database the
+//! paper uses to geolocate CDN flow destinations (§4.1.1, reference \[17\]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cities;
+pub mod coord;
+pub mod geoip;
+
+pub use cities::{all_cities, by_name, City};
+pub use coord::{Coord, EARTH_RADIUS_MILES};
+pub use geoip::{GeoIpDb, GeoRelation, Location};

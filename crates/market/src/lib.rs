@@ -1,0 +1,31 @@
+//! # transit-market
+//!
+//! Market-level economics on top of `transit-core`:
+//!
+//! * [`welfare`] — consumer surplus and social welfare for fitted
+//!   CED/logit markets (§2.2.1).
+//! * [`worked_example`] — the Fig. 1 blended-vs-tiered two-destination
+//!   example, reproducing the paper's dollar figures from closed forms.
+//! * [`direct_peering`] — the Fig. 2 bypass decision and the §2.2.2
+//!   market-failure condition `c_direct > (M+1)·c_ISP + A`.
+//! * [`competition`] — extension: an explicit two-ISP price equilibrium
+//!   (the paper folds rivals into residual demand, §3.2.1).
+//! * [`response`] — extension: per-tier traffic/revenue deltas when a
+//!   tier structure goes live.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod competition;
+pub mod direct_peering;
+pub mod response;
+pub mod welfare;
+pub mod worked_example;
+
+pub use competition::{symmetric_transit_duopoly, Duopoly, Equilibrium, Regime};
+pub use direct_peering::{
+    sweep_direct_cost, DirectPeeringScenario, PeeringEvaluation, PeeringOutcome,
+};
+pub use response::{ced_response, ResponseReport, TierResponse};
+pub use welfare::{ced_welfare, logit_welfare, WelfareReport};
+pub use worked_example::{evaluate as evaluate_worked_example, ExampleParams, WorkedExample};

@@ -1,0 +1,181 @@
+//! Demand response: what happens to traffic when tiers go live.
+//!
+//! The paper's counterfactuals price bundles optimally but report only
+//! profit; an operator also needs the *engineering* consequences — which
+//! flows grow, which shrink, and how revenue decomposes by tier. This
+//! module computes the before/after traffic and revenue for any bundling
+//! of a fitted market (CED: Eq. 2 per flow at its tier price).
+
+use serde::Serialize;
+use transit_core::bundling::Bundling;
+use transit_core::demand::ced;
+use transit_core::error::Result;
+use transit_core::market::{CedMarket, TransitMarket};
+
+/// Per-tier traffic/revenue deltas of a re-pricing.
+#[derive(Debug, Clone, Serialize)]
+pub struct TierResponse {
+    /// Tier index.
+    pub tier: usize,
+    /// The tier's price, $/Mbps/month.
+    pub price: f64,
+    /// Flows in the tier.
+    pub flows: usize,
+    /// Traffic before (at the blended rate), Mbps.
+    pub mbps_before: f64,
+    /// Traffic after (at the tier price), Mbps.
+    pub mbps_after: f64,
+    /// Revenue after, $.
+    pub revenue: f64,
+    /// Delivery cost after, $.
+    pub cost: f64,
+}
+
+/// The full demand-response report.
+#[derive(Debug, Clone, Serialize)]
+pub struct ResponseReport {
+    /// Per-tier rows (empty tiers omitted).
+    pub tiers: Vec<TierResponse>,
+    /// Total traffic before, Mbps.
+    pub total_mbps_before: f64,
+    /// Total traffic after, Mbps.
+    pub total_mbps_after: f64,
+    /// Total profit after (matches `market.profit(bundling)`).
+    pub total_profit: f64,
+}
+
+/// Computes the demand response of a CED market to a bundling with
+/// optimal tier prices.
+pub fn ced_response(market: &CedMarket, bundling: &Bundling) -> Result<ResponseReport> {
+    let prices = market.bundle_prices(bundling)?;
+    let fit = market.fit();
+    let mut tiers = Vec::new();
+    let mut total_before = 0.0;
+    let mut total_after = 0.0;
+    let mut total_profit = 0.0;
+
+    for (tier, members) in bundling.members().iter().enumerate() {
+        let Some(price) = prices[tier] else { continue };
+        let mut mbps_before = 0.0;
+        let mut mbps_after = 0.0;
+        let mut revenue = 0.0;
+        let mut cost = 0.0;
+        for &i in members {
+            let q_after = ced::quantity(fit.valuations[i], price, fit.alpha)?;
+            mbps_before += fit.demands[i];
+            mbps_after += q_after;
+            revenue += q_after * price;
+            cost += q_after * fit.costs[i];
+        }
+        total_before += mbps_before;
+        total_after += mbps_after;
+        total_profit += revenue - cost;
+        tiers.push(TierResponse {
+            tier,
+            price,
+            flows: members.len(),
+            mbps_before,
+            mbps_after,
+            revenue,
+            cost,
+        });
+    }
+    Ok(ResponseReport {
+        tiers,
+        total_mbps_before: total_before,
+        total_mbps_after: total_after,
+        total_profit,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use transit_core::bundling::StrategyKind;
+    use transit_core::cost::LinearCost;
+    use transit_core::demand::ced::CedAlpha;
+    use transit_core::fitting::fit_ced;
+    use transit_core::flow::TrafficFlow;
+
+    fn market() -> CedMarket {
+        let flows: Vec<TrafficFlow> = (0..20)
+            .map(|i| {
+                let x = (i as f64 * 0.61).sin().abs() + 0.05;
+                TrafficFlow::new(i, 2.0 + 80.0 * x, 5.0 + 900.0 * x * x)
+            })
+            .collect();
+        CedMarket::new(
+            fit_ced(
+                &flows,
+                &LinearCost::new(0.2).unwrap(),
+                CedAlpha::new(1.2).unwrap(),
+                20.0,
+            )
+            .unwrap(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn profit_matches_market_computation() {
+        let m = market();
+        let strategy = StrategyKind::Optimal.build();
+        let bundling = strategy.bundle(&m, 3).unwrap();
+        let report = ced_response(&m, &bundling).unwrap();
+        let direct = m.profit(&bundling).unwrap();
+        assert!(
+            (report.total_profit - direct).abs() / direct < 1e-9,
+            "{} vs {direct}",
+            report.total_profit
+        );
+    }
+
+    #[test]
+    fn cheap_tiers_gain_traffic_expensive_tiers_lose() {
+        let m = market();
+        let strategy = StrategyKind::Optimal.build();
+        let bundling = strategy.bundle(&m, 3).unwrap();
+        let report = ced_response(&m, &bundling).unwrap();
+        for t in &report.tiers {
+            if t.price < 20.0 {
+                assert!(
+                    t.mbps_after > t.mbps_before,
+                    "tier {} at {} should gain traffic",
+                    t.tier,
+                    t.price
+                );
+            } else if t.price > 20.0 {
+                assert!(
+                    t.mbps_after < t.mbps_before,
+                    "tier {} at {} should lose traffic",
+                    t.tier,
+                    t.price
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn before_totals_match_observed_demand() {
+        let m = market();
+        let strategy = StrategyKind::ProfitWeighted.build();
+        let bundling = strategy.bundle(&m, 2).unwrap();
+        let report = ced_response(&m, &bundling).unwrap();
+        let observed: f64 = m.demands().iter().sum();
+        assert!((report.total_mbps_before - observed).abs() / observed < 1e-12);
+    }
+
+    #[test]
+    fn revenue_decomposition_is_consistent() {
+        let m = market();
+        let strategy = StrategyKind::Optimal.build();
+        let bundling = strategy.bundle(&m, 4).unwrap();
+        let report = ced_response(&m, &bundling).unwrap();
+        let sum: f64 = report.tiers.iter().map(|t| t.revenue - t.cost).sum();
+        assert!((sum - report.total_profit).abs() < 1e-9);
+        for t in &report.tiers {
+            assert!(t.revenue >= 0.0 && t.cost >= 0.0);
+            assert!(t.flows > 0);
+        }
+    }
+}

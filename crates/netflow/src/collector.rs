@@ -1,0 +1,336 @@
+//! Collector: datagram ingestion, de-sampling, and cross-router
+//! deduplication.
+//!
+//! The paper aggregates "all records of the flow, while ensuring that we
+//! do not double-count records that are duplicated on different routers"
+//! (§4.1.1) — a flow crossing three core routers is exported three times.
+//! The [`Collector`] keeps per-(router, flow) tallies and, at read time,
+//! credits each flow the **maximum** volume any single router reported:
+//! every on-path router observes the complete flow (modulo sampling
+//! noise), so the max is an unbiased single-observation estimate while a
+//! sum would multiply true volume by the hop count.
+
+use std::collections::HashMap;
+
+use crate::key::{FlowKey, MeasuredFlow};
+use crate::record::{DecodeError, V5Packet};
+
+/// Per-router observation of one flow.
+#[derive(Debug, Clone, Copy, Default)]
+struct Observation {
+    bytes: u64,
+    packets: u64,
+}
+
+/// A NetFlow collector with cross-router deduplication.
+#[derive(Debug, Default)]
+pub struct Collector {
+    /// flow key → router (engine id) → de-sampled totals.
+    flows: HashMap<FlowKey, HashMap<u8, Observation>>,
+    /// router → next expected flow_sequence (export loss detection:
+    /// v5 headers carry a running record count, so a gap means a dropped
+    /// export datagram between this one and the previous).
+    next_sequence: HashMap<u8, u32>,
+    /// router → records known lost from sequence gaps.
+    lost: HashMap<u8, u64>,
+    datagrams: u64,
+    records: u64,
+    decode_errors: u64,
+}
+
+impl Collector {
+    /// Creates an empty collector.
+    pub fn new() -> Collector {
+        Collector::default()
+    }
+
+    /// Ingests one raw export datagram. Malformed datagrams are counted
+    /// and reported but do not poison previously collected state.
+    pub fn ingest(&mut self, datagram: &[u8]) -> Result<usize, DecodeError> {
+        let packet = match V5Packet::decode(datagram) {
+            Ok(p) => p,
+            Err(e) => {
+                self.decode_errors += 1;
+                return Err(e);
+            }
+        };
+        Ok(self.ingest_packet(&packet))
+    }
+
+    /// Ingests an already-decoded packet; returns the record count.
+    pub fn ingest_packet(&mut self, packet: &V5Packet) -> usize {
+        let rate = packet.header.sampling_rate() as u64;
+        let router = packet.header.engine_id;
+
+        // Export-loss detection via the header's running flow sequence.
+        let seq = packet.header.flow_sequence;
+        match self.next_sequence.get(&router) {
+            Some(&expected) => {
+                let gap = seq.wrapping_sub(expected);
+                // Treat huge "gaps" as reordering/restart rather than
+                // loss (a restarted exporter resets its sequence).
+                if gap > 0 && gap < u32::MAX / 2 {
+                    *self.lost.entry(router).or_default() += gap as u64;
+                }
+            }
+            None => {
+                // First datagram from this router establishes the base.
+            }
+        }
+        self.next_sequence
+            .insert(router, seq.wrapping_add(packet.records.len() as u32));
+
+        for r in &packet.records {
+            let key = FlowKey::from_record(r);
+            let obs = self
+                .flows
+                .entry(key)
+                .or_default()
+                .entry(router)
+                .or_default();
+            obs.bytes += r.octets as u64 * rate;
+            obs.packets += r.packets as u64 * rate;
+        }
+        self.datagrams += 1;
+        self.records += packet.records.len() as u64;
+        packet.records.len()
+    }
+
+    /// Number of distinct flows observed.
+    pub fn flow_count(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// (datagrams, records, decode errors) ingested so far.
+    pub fn stats(&self) -> (u64, u64, u64) {
+        (self.datagrams, self.records, self.decode_errors)
+    }
+
+    /// Total records known lost to dropped export datagrams (from
+    /// per-router sequence gaps). Export is UDP in the field; a non-zero
+    /// value warns that measured volumes undercount.
+    pub fn lost_records(&self) -> u64 {
+        self.lost.values().sum()
+    }
+
+    /// Records lost from one router's exports.
+    pub fn lost_records_from(&self, engine_id: u8) -> u64 {
+        self.lost.get(&engine_id).copied().unwrap_or(0)
+    }
+
+    /// Deduplicated measured flows: per flow, the maximum single-router
+    /// estimate (see module docs). Sorted by key for determinism.
+    pub fn measured_flows(&self) -> Vec<MeasuredFlow> {
+        let mut out: Vec<MeasuredFlow> = self
+            .flows
+            .iter()
+            .map(|(key, per_router)| {
+                let best = per_router
+                    .values()
+                    .max_by_key(|o| o.bytes)
+                    .copied()
+                    .unwrap_or_default();
+                MeasuredFlow {
+                    key: *key,
+                    bytes: best.bytes,
+                    packets: best.packets,
+                }
+            })
+            .collect();
+        out.sort_by_key(|f| f.key);
+        out
+    }
+
+    /// Naive (double-counting) totals — what you would get *without* the
+    /// dedup step; kept for the Fig. 17 accounting-equivalence experiment
+    /// and tests.
+    pub fn summed_flows(&self) -> Vec<MeasuredFlow> {
+        let mut out: Vec<MeasuredFlow> = self
+            .flows
+            .iter()
+            .map(|(key, per_router)| {
+                let (bytes, packets) = per_router
+                    .values()
+                    .fold((0u64, 0u64), |(b, p), o| (b + o.bytes, p + o.packets));
+                MeasuredFlow {
+                    key: *key,
+                    bytes,
+                    packets,
+                }
+            })
+            .collect();
+        out.sort_by_key(|f| f.key);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exporter::Exporter;
+    use crate::sampler::SystematicSampler;
+    use std::net::Ipv4Addr;
+
+    fn key(i: u32) -> FlowKey {
+        FlowKey {
+            src_addr: Ipv4Addr::from(0x0c00_0000 | i),
+            dst_addr: Ipv4Addr::new(9, 9, 9, 9),
+            src_port: 1000,
+            dst_port: 80,
+            protocol: 6,
+        }
+    }
+
+    /// Sends the same traffic through `n_routers` exporters and collects
+    /// everything.
+    fn multi_router_collect(n_routers: u8, packets_per_flow: u32) -> Collector {
+        let mut collector = Collector::new();
+        for router in 0..n_routers {
+            let mut e = Exporter::new(router, SystematicSampler::new(1));
+            for flow in 0..4u32 {
+                for _ in 0..packets_per_flow {
+                    e.observe_packet(key(flow), 1000);
+                }
+            }
+            for p in e.flush(0) {
+                collector.ingest(&p.encode()).unwrap();
+            }
+        }
+        collector
+    }
+
+    #[test]
+    fn dedup_credits_single_router_volume() {
+        let c = multi_router_collect(3, 50);
+        let flows = c.measured_flows();
+        assert_eq!(flows.len(), 4);
+        for f in &flows {
+            assert_eq!(f.bytes, 50_000, "deduped volume");
+            assert_eq!(f.packets, 50);
+        }
+    }
+
+    #[test]
+    fn summed_flows_double_count_by_hop_count() {
+        let c = multi_router_collect(3, 50);
+        for f in c.summed_flows() {
+            assert_eq!(f.bytes, 150_000, "3 routers x 50KB");
+        }
+    }
+
+    #[test]
+    fn de_sampling_rescales_volume() {
+        let mut collector = Collector::new();
+        let mut e = Exporter::new(0, SystematicSampler::new(10));
+        for _ in 0..1000 {
+            e.observe_packet(key(1), 1500);
+        }
+        for p in e.flush(0) {
+            collector.ingest(&p.encode()).unwrap();
+        }
+        let flows = collector.measured_flows();
+        assert_eq!(flows.len(), 1);
+        // 100 sampled packets × 1500 B × rate 10 = 1.5 MB (the true total).
+        assert_eq!(flows[0].bytes, 1_500_000);
+        assert_eq!(flows[0].packets, 1000);
+    }
+
+    #[test]
+    fn malformed_datagrams_are_counted_not_fatal() {
+        let mut c = multi_router_collect(1, 10);
+        let before = c.flow_count();
+        assert!(c.ingest(&[0u8; 7]).is_err());
+        assert!(c.ingest(b"garbage data here").is_err());
+        assert_eq!(c.flow_count(), before);
+        let (_, _, errors) = c.stats();
+        assert_eq!(errors, 2);
+    }
+
+    #[test]
+    fn repeated_exports_from_same_router_accumulate() {
+        // Same router exporting twice (two measurement intervals): volumes
+        // add up — only *cross-router* duplication is collapsed.
+        let mut collector = Collector::new();
+        let mut e = Exporter::new(0, SystematicSampler::new(1));
+        for _ in 0..10 {
+            e.observe_packet(key(1), 100);
+        }
+        for p in e.flush(0) {
+            collector.ingest(&p.encode()).unwrap();
+        }
+        for _ in 0..10 {
+            e.observe_packet(key(1), 100);
+        }
+        for p in e.flush(60) {
+            collector.ingest(&p.encode()).unwrap();
+        }
+        let flows = collector.measured_flows();
+        assert_eq!(flows[0].bytes, 2_000);
+    }
+
+    #[test]
+    fn measured_flows_sorted_and_stable() {
+        let c = multi_router_collect(2, 5);
+        let a = c.measured_flows();
+        let b = c.measured_flows();
+        assert_eq!(a, b);
+        for w in a.windows(2) {
+            assert!(w[0].key < w[1].key);
+        }
+    }
+
+    #[test]
+    fn sequence_gap_reports_lost_records() {
+        // Export 90 flows in 3 datagrams; drop the middle one.
+        let mut e = Exporter::new(5, SystematicSampler::new(1));
+        for i in 0..90u32 {
+            e.observe_packet(key(i), 100);
+        }
+        let pkts = e.flush(0);
+        assert_eq!(pkts.len(), 3);
+        let mut c = Collector::new();
+        c.ingest_packet(&pkts[0]);
+        // pkts[1] (30 records) lost in the network.
+        c.ingest_packet(&pkts[2]);
+        assert_eq!(c.lost_records(), 30);
+        assert_eq!(c.lost_records_from(5), 30);
+        assert_eq!(c.lost_records_from(9), 0);
+        // Flows from the surviving datagrams are intact.
+        assert_eq!(c.flow_count(), 60);
+    }
+
+    #[test]
+    fn no_loss_means_zero_lost_records() {
+        let c = multi_router_collect(3, 50);
+        assert_eq!(c.lost_records(), 0);
+    }
+
+    #[test]
+    fn exporter_restart_is_not_counted_as_loss() {
+        let mut c = Collector::new();
+        let mut e = Exporter::new(1, SystematicSampler::new(1));
+        for i in 0..40u32 {
+            e.observe_packet(key(i), 100);
+        }
+        for p in e.flush(0) {
+            c.ingest_packet(&p);
+        }
+        // Restarted exporter: sequence resets to 0 (a huge backwards
+        // "gap" that must not be treated as loss).
+        let mut e2 = Exporter::new(1, SystematicSampler::new(1));
+        e2.observe_packet(key(100), 100);
+        for p in e2.flush(0) {
+            c.ingest_packet(&p);
+        }
+        assert_eq!(c.lost_records(), 0);
+    }
+
+    #[test]
+    fn stats_track_ingestion() {
+        let c = multi_router_collect(2, 5);
+        let (datagrams, records, errors) = c.stats();
+        assert_eq!(datagrams, 2);
+        assert_eq!(records, 8);
+        assert_eq!(errors, 0);
+    }
+}

@@ -1,0 +1,113 @@
+//! Flow keys and measured flows: the collector's unit of aggregation.
+
+use std::net::Ipv4Addr;
+
+use serde::{Deserialize, Serialize};
+
+use crate::record::V5Record;
+
+/// The classic 5-tuple flow key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct FlowKey {
+    /// Source IPv4 address.
+    pub src_addr: Ipv4Addr,
+    /// Destination IPv4 address.
+    pub dst_addr: Ipv4Addr,
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// IP protocol number.
+    pub protocol: u8,
+}
+
+impl FlowKey {
+    /// Extracts the key from a v5 record.
+    pub fn from_record(r: &V5Record) -> FlowKey {
+        FlowKey {
+            src_addr: r.src_addr,
+            dst_addr: r.dst_addr,
+            src_port: r.src_port,
+            dst_port: r.dst_port,
+            protocol: r.protocol,
+        }
+    }
+
+    /// The host-pair key (ignores ports/protocol): the granularity at
+    /// which the paper aggregates traffic into destination-based flows.
+    pub fn host_pair(&self) -> (Ipv4Addr, Ipv4Addr) {
+        (self.src_addr, self.dst_addr)
+    }
+}
+
+/// A measured flow after collection: key plus de-sampled volume.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MeasuredFlow {
+    /// Flow key.
+    pub key: FlowKey,
+    /// Estimated total bytes (sampled octets × sampling rate).
+    pub bytes: u64,
+    /// Estimated total packets.
+    pub packets: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record() -> V5Record {
+        V5Record {
+            src_addr: Ipv4Addr::new(1, 2, 3, 4),
+            dst_addr: Ipv4Addr::new(5, 6, 7, 8),
+            next_hop: Ipv4Addr::UNSPECIFIED,
+            input_if: 0,
+            output_if: 0,
+            packets: 10,
+            octets: 1500,
+            first_ms: 0,
+            last_ms: 10,
+            src_port: 1234,
+            dst_port: 443,
+            tcp_flags: 0,
+            protocol: 6,
+            tos: 0,
+            src_as: 0,
+            dst_as: 0,
+            src_mask: 0,
+            dst_mask: 0,
+        }
+    }
+
+    #[test]
+    fn key_from_record_takes_five_tuple() {
+        let k = FlowKey::from_record(&record());
+        assert_eq!(k.src_addr, Ipv4Addr::new(1, 2, 3, 4));
+        assert_eq!(k.dst_addr, Ipv4Addr::new(5, 6, 7, 8));
+        assert_eq!(k.src_port, 1234);
+        assert_eq!(k.dst_port, 443);
+        assert_eq!(k.protocol, 6);
+    }
+
+    #[test]
+    fn host_pair_ignores_ports() {
+        let mut r2 = record();
+        r2.src_port = 9999;
+        let k1 = FlowKey::from_record(&record());
+        let k2 = FlowKey::from_record(&r2);
+        assert_ne!(k1, k2);
+        assert_eq!(k1.host_pair(), k2.host_pair());
+    }
+
+    #[test]
+    fn keys_hash_and_order() {
+        use std::collections::{BTreeSet, HashSet};
+        let k1 = FlowKey::from_record(&record());
+        let mut r2 = record();
+        r2.dst_port = 80;
+        let k2 = FlowKey::from_record(&r2);
+        let hs: HashSet<_> = [k1, k2, k1].into_iter().collect();
+        assert_eq!(hs.len(), 2);
+        let bs: BTreeSet<_> = [k2, k1].into_iter().collect();
+        assert_eq!(bs.len(), 2);
+    }
+}

@@ -1,0 +1,174 @@
+//! Traffic-matrix aggregation: measured flows → per-pair demands.
+//!
+//! The final step of the paper's data pipeline (§4.1.1): 5-tuple flows are
+//! aggregated to host pairs (destination-based pricing does not care about
+//! ports) and converted from byte counts over the capture window into
+//! demand rates in Mbps — the `q_i` the demand models consume.
+
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+use serde::Serialize;
+
+use crate::key::MeasuredFlow;
+
+/// A (source, destination) traffic matrix in bytes.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct TrafficMatrix {
+    entries: HashMap<(Ipv4Addr, Ipv4Addr), u64>,
+}
+
+/// One aggregated demand entry.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct DemandEntry {
+    /// Source address.
+    pub src: Ipv4Addr,
+    /// Destination address.
+    pub dst: Ipv4Addr,
+    /// Total bytes over the capture window.
+    pub bytes: u64,
+    /// Demand rate in Mbps.
+    pub mbps: f64,
+}
+
+impl TrafficMatrix {
+    /// Builds the matrix from deduplicated measured flows, aggregating
+    /// over ports and protocol.
+    pub fn from_flows(flows: &[MeasuredFlow]) -> TrafficMatrix {
+        let mut entries: HashMap<(Ipv4Addr, Ipv4Addr), u64> = HashMap::new();
+        for f in flows {
+            *entries.entry(f.key.host_pair()).or_default() += f.bytes;
+        }
+        TrafficMatrix { entries }
+    }
+
+    /// Adds raw bytes to a pair (for synthetic construction).
+    pub fn add(&mut self, src: Ipv4Addr, dst: Ipv4Addr, bytes: u64) {
+        *self.entries.entry((src, dst)).or_default() += bytes;
+    }
+
+    /// Number of (src, dst) pairs.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no pairs are present.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total bytes across all pairs.
+    pub fn total_bytes(&self) -> u64 {
+        self.entries.values().sum()
+    }
+
+    /// Demand entries over a capture window of `duration_secs`, sorted by
+    /// (src, dst) for determinism. `duration_secs` must be positive.
+    pub fn demands(&self, duration_secs: f64) -> Vec<DemandEntry> {
+        assert!(
+            duration_secs.is_finite() && duration_secs > 0.0,
+            "duration must be positive"
+        );
+        let mut out: Vec<DemandEntry> = self
+            .entries
+            .iter()
+            .map(|(&(src, dst), &bytes)| DemandEntry {
+                src,
+                dst,
+                bytes,
+                mbps: bytes as f64 * 8.0 / duration_secs / 1e6,
+            })
+            .collect();
+        out.sort_by_key(|e| (e.src, e.dst));
+        out
+    }
+
+    /// Aggregate demand in Gbps over a window of `duration_secs`
+    /// (Table 1's "Aggregate traffic" column).
+    pub fn aggregate_gbps(&self, duration_secs: f64) -> f64 {
+        self.total_bytes() as f64 * 8.0 / duration_secs / 1e9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::key::FlowKey;
+
+    fn flow(src: [u8; 4], dst: [u8; 4], port: u16, bytes: u64) -> MeasuredFlow {
+        MeasuredFlow {
+            key: FlowKey {
+                src_addr: src.into(),
+                dst_addr: dst.into(),
+                src_port: port,
+                dst_port: 443,
+                protocol: 6,
+            },
+            bytes,
+            packets: bytes / 1000,
+        }
+    }
+
+    #[test]
+    fn aggregates_over_ports() {
+        let flows = [
+            flow([1, 1, 1, 1], [2, 2, 2, 2], 1000, 500),
+            flow([1, 1, 1, 1], [2, 2, 2, 2], 2000, 300),
+            flow([1, 1, 1, 1], [3, 3, 3, 3], 1000, 100),
+        ];
+        let m = TrafficMatrix::from_flows(&flows);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.total_bytes(), 900);
+        let demands = m.demands(1.0);
+        assert_eq!(demands[0].bytes, 800, "two ports merged");
+    }
+
+    #[test]
+    fn direction_matters() {
+        let flows = [
+            flow([1, 1, 1, 1], [2, 2, 2, 2], 1000, 500),
+            flow([2, 2, 2, 2], [1, 1, 1, 1], 1000, 300),
+        ];
+        let m = TrafficMatrix::from_flows(&flows);
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn mbps_conversion() {
+        // 1,250,000 bytes over 10 s = 1 Mbps.
+        let flows = [flow([1, 1, 1, 1], [2, 2, 2, 2], 1, 1_250_000)];
+        let m = TrafficMatrix::from_flows(&flows);
+        let d = m.demands(10.0);
+        assert!((d[0].mbps - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn aggregate_gbps_over_24h() {
+        // Table 1 style: bytes over 24 h → Gbps.
+        let mut m = TrafficMatrix::default();
+        // 37 Gbps for 86,400 s = 37e9/8 * 86400 bytes.
+        let bytes = (37.0e9 / 8.0 * 86_400.0) as u64;
+        m.add([1, 0, 0, 1].into(), [2, 0, 0, 2].into(), bytes);
+        assert!((m.aggregate_gbps(86_400.0) - 37.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn demands_sorted_deterministically() {
+        let flows = [
+            flow([9, 0, 0, 1], [1, 0, 0, 1], 1, 10),
+            flow([1, 0, 0, 1], [9, 0, 0, 1], 1, 20),
+            flow([5, 0, 0, 1], [5, 0, 0, 2], 1, 30),
+        ];
+        let m = TrafficMatrix::from_flows(&flows);
+        let d = m.demands(1.0);
+        for w in d.windows(2) {
+            assert!((w[0].src, w[0].dst) < (w[1].src, w[1].dst));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "duration must be positive")]
+    fn rejects_zero_duration() {
+        TrafficMatrix::default().demands(0.0);
+    }
+}

@@ -1,0 +1,19 @@
+//! # transit-topology
+//!
+//! Network-topology substrate: PoP/link graphs with geographic
+//! (haversine) link lengths and Dijkstra shortest paths ([`graph`]), and
+//! generators for the paper's three networks ([`generators`]): the real
+//! Internet2/Abilene backbone, an EU-ISP-like regional mesh, and the CDN's
+//! origin PoP set (§4.1.1) — plus shortest-path traffic engineering with
+//! per-link loads ([`te`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod generators;
+pub mod graph;
+pub mod te;
+
+pub use generators::{cdn_origins, eu_isp, internet2};
+pub use graph::{Link, Path, Pop, PopId, Topology};
+pub use te::{route_demands, Demand, LinkLoad, LinkLoadReport};

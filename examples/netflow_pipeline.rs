@@ -1,0 +1,72 @@
+//! The full measurement loop of paper §4.1.1: packets → sampled NetFlow →
+//! collector (with cross-router dedup) → traffic matrix → fitted market —
+//! and how measurement error propagates into the pricing analysis.
+//!
+//! ```text
+//! cargo run --example netflow_pipeline
+//! ```
+
+use tiered_transit::core::bundling::StrategyKind;
+use tiered_transit::core::capture::capture_curve;
+use tiered_transit::core::cost::LinearCost;
+use tiered_transit::core::demand::ced::CedAlpha;
+use tiered_transit::core::fitting::fit_ced;
+use tiered_transit::core::market::CedMarket;
+use tiered_transit::datasets::{generate, run_pipeline, Network, PipelineConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Ground truth: a synthetic Internet2-like traffic matrix.
+    let dataset = generate(Network::Internet2, 60, 3);
+    let truth_mbps: f64 = dataset.flows.iter().map(|f| f.demand_mbps).sum();
+    println!("ground truth: {} flows, {:.1} Mbps total", dataset.flows.len(), truth_mbps);
+
+    // Measure it like an operator would: 1-in-10 sampled NetFlow at three
+    // core routers, collected and deduplicated.
+    let config = PipelineConfig {
+        sampling_rate: 10,
+        routers_on_path: 3,
+        window_secs: 60.0,
+        packet_bytes: 1500,
+    };
+    let out = run_pipeline(&dataset, config);
+    let measured_mbps: f64 = out.measured_flows.iter().map(|f| f.demand_mbps).sum();
+    println!(
+        "measured:     {} flows, {:.1} Mbps total ({} export datagrams, 1-in-{} sampling, {} routers)",
+        out.measured_flows.len(),
+        measured_mbps,
+        out.datagrams,
+        config.sampling_rate,
+        config.routers_on_path
+    );
+    println!(
+        "volume error from sampling: {:+.2}%\n",
+        (measured_mbps - truth_mbps) / truth_mbps * 100.0
+    );
+
+    // Fit markets on both and compare the pricing conclusions.
+    let cost_model = LinearCost::new(0.2)?;
+    let alpha = CedAlpha::new(1.1)?;
+    let truth_market = CedMarket::new(fit_ced(&dataset.flows, &cost_model, alpha, 20.0)?)?;
+    let measured_market =
+        CedMarket::new(fit_ced(&out.measured_flows, &cost_model, alpha, 20.0)?)?;
+
+    let strategy = StrategyKind::ProfitWeighted.build();
+    let truth_curve = capture_curve(&truth_market, strategy.as_ref(), 5)?;
+    let measured_curve = capture_curve(&measured_market, strategy.as_ref(), 5)?;
+
+    println!("profit capture by tier count (profit-weighted bundling):");
+    println!("tiers  ground truth  from NetFlow");
+    for i in 0..truth_curve.n_bundles.len() {
+        println!(
+            "{:>5}  {:>11.1}%  {:>11.1}%",
+            truth_curve.n_bundles[i],
+            truth_curve.capture[i] * 100.0,
+            measured_curve.capture[i] * 100.0
+        );
+    }
+    println!();
+    println!("The tiering recommendation is robust to sampled measurement: the");
+    println!("capture profile from deduplicated sampled NetFlow tracks the");
+    println!("ground-truth profile closely, as the paper's methodology assumes.");
+    Ok(())
+}

@@ -1,0 +1,25 @@
+//! # tiered-transit
+//!
+//! Facade crate for the workspace reproducing *"How Many Tiers? Pricing in
+//! the Internet Transit Market"* (SIGCOMM 2011). Re-exports every
+//! subsystem crate; see each for details:
+//!
+//! * [`core`] — demand/cost models, fitting, bundling, pricing, capture.
+//! * [`geo`] — coordinates, world cities, synthetic GeoIP.
+//! * [`netflow`] — NetFlow v5 records, sampling, collection, aggregation.
+//! * [`topology`] — PoP/link graphs, shortest paths, network generators.
+//! * [`routing`] — BGP-lite tier tagging, prefix trie, accounting/billing.
+//! * [`datasets`] — Table-1-calibrated synthetic datasets.
+//! * [`market`] — welfare, worked examples, direct-peering economics.
+//! * [`experiments`] — per-figure/table experiment runners.
+
+#![forbid(unsafe_code)]
+
+pub use transit_core as core;
+pub use transit_datasets as datasets;
+pub use transit_experiments as experiments;
+pub use transit_geo as geo;
+pub use transit_market as market;
+pub use transit_netflow as netflow;
+pub use transit_routing as routing;
+pub use transit_topology as topology;

@@ -1,0 +1,417 @@
+//! Property-based tests (proptest) on the core invariants, spanning
+//! crates through the public API.
+
+use proptest::prelude::*;
+
+use tiered_transit::core::bundling::{token_bucket::token_bucket_assign, Bundling, StrategyKind};
+use tiered_transit::core::capture::capture_for_bundling;
+use tiered_transit::core::cost::LinearCost;
+use tiered_transit::core::demand::ced::{self, CedAlpha};
+use tiered_transit::core::demand::logit::{self, LogitAlpha};
+use tiered_transit::core::fitting::{fit_ced, fit_logit};
+use tiered_transit::core::flow::TrafficFlow;
+use tiered_transit::core::market::{CedMarket, LogitMarket, TransitMarket};
+use tiered_transit::core::pricing::logit as logit_pricing;
+use tiered_transit::geo::Coord;
+use tiered_transit::netflow::{V5Packet, V5Record};
+use tiered_transit::routing::{Ipv4Prefix, PrefixTrie};
+
+/// Strategy for a valid flow set (2–24 flows).
+fn arb_flows() -> impl Strategy<Value = Vec<TrafficFlow>> {
+    prop::collection::vec((0.1f64..500.0, 0.5f64..4000.0), 2..24).prop_map(|pairs| {
+        pairs
+            .into_iter()
+            .enumerate()
+            .map(|(i, (q, d))| TrafficFlow::new(i as u32, q, d))
+            .collect()
+    })
+}
+
+fn arb_ced_alpha() -> impl Strategy<Value = CedAlpha> {
+    (1.05f64..6.0).prop_map(|a| CedAlpha::new(a).unwrap())
+}
+
+fn arb_logit_alpha() -> impl Strategy<Value = LogitAlpha> {
+    (0.8f64..4.0).prop_map(|a| LogitAlpha::new(a).unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// CED fitting identity: modeled demand at P0 equals observed demand,
+    /// and P0 maximizes single-bundle profit (checked via Eq. 5).
+    #[test]
+    fn ced_fit_identities(flows in arb_flows(), alpha in arb_ced_alpha(), p0 in 5.0f64..40.0) {
+        let cost = LinearCost::new(0.2).unwrap();
+        let fit = fit_ced(&flows, &cost, alpha, p0).unwrap();
+        for (i, f) in flows.iter().enumerate() {
+            let q = ced::quantity(fit.valuations[i], p0, alpha).unwrap();
+            prop_assert!((q - f.demand_mbps).abs() / f.demand_mbps < 1e-8);
+        }
+        let p_star = ced::bundle_price(&fit.valuations, &fit.costs, alpha).unwrap();
+        prop_assert!((p_star - p0).abs() / p0 < 1e-8);
+    }
+
+    /// CED bundle price lies within the members' own optimal-price range.
+    #[test]
+    fn ced_bundle_price_within_member_range(
+        flows in arb_flows(),
+        alpha in arb_ced_alpha(),
+    ) {
+        let cost = LinearCost::new(0.1).unwrap();
+        let fit = fit_ced(&flows, &cost, alpha, 20.0).unwrap();
+        let p = ced::bundle_price(&fit.valuations, &fit.costs, alpha).unwrap();
+        let lo = fit.costs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = fit.costs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let p_lo = ced::optimal_price(lo, alpha).unwrap();
+        let p_hi = ced::optimal_price(hi, alpha).unwrap();
+        prop_assert!(p >= p_lo - 1e-9 && p <= p_hi + 1e-9);
+    }
+
+    /// Logit shares are a probability distribution and the exact price
+    /// solver satisfies the paper's FOC (Eq. 9).
+    #[test]
+    fn logit_shares_and_foc(
+        flows in arb_flows(),
+        alpha in arb_logit_alpha(),
+    ) {
+        let cost = LinearCost::new(0.2).unwrap();
+        let Ok(fit) = fit_logit(&flows, &cost, alpha, 20.0, 0.2) else {
+            // Infeasible (markup above P0) is a legitimate rejection.
+            return Ok(());
+        };
+        let n = fit.valuations.len();
+        let (s, s0) = logit::shares(&fit.valuations, &vec![20.0; n], alpha).unwrap();
+        prop_assert!((s.iter().sum::<f64>() + s0 - 1.0).abs() < 1e-9);
+
+        let opt = logit_pricing::optimal_prices(&fit.valuations, &fit.costs, alpha).unwrap();
+        let (_, s0_opt) = logit::shares(&fit.valuations, &opt.prices, alpha).unwrap();
+        prop_assert!((opt.markup - 1.0 / (alpha.get() * s0_opt)).abs() / opt.markup < 1e-6);
+    }
+
+    /// Profit capture of any valid bundling is at most 1 (ceiling is the
+    /// per-flow optimum), and per-flow/single-bundle boundaries are exact.
+    #[test]
+    fn capture_bounded_for_random_bundlings(
+        flows in arb_flows(),
+        assignment_seed in any::<u64>(),
+        n_bundles in 1usize..5,
+    ) {
+        let cost = LinearCost::new(0.2).unwrap();
+        let market = CedMarket::new(
+            fit_ced(&flows, &cost, CedAlpha::new(1.2).unwrap(), 20.0).unwrap(),
+        ).unwrap();
+        // Pseudo-random assignment from the seed.
+        let assignment: Vec<usize> = (0..flows.len())
+            .map(|i| ((assignment_seed >> (i % 48)) as usize + i * 2_654_435_761) % n_bundles)
+            .collect();
+        let bundling = Bundling::new(assignment, n_bundles).unwrap();
+        let out = capture_for_bundling(&market, &bundling).unwrap();
+        prop_assert!(out.capture <= 1.0 + 1e-9, "capture {}", out.capture);
+        prop_assert!(out.profit <= market.max_profit() + 1e-9);
+    }
+
+    /// The token bucket always produces a complete, valid assignment and
+    /// never leaves the first bundle empty.
+    #[test]
+    fn token_bucket_assignment_valid(
+        weights in prop::collection::vec(0.01f64..1000.0, 1..60),
+        n_bundles in 1usize..8,
+    ) {
+        let a = token_bucket_assign(&weights, n_bundles).unwrap();
+        prop_assert_eq!(a.len(), weights.len());
+        prop_assert!(a.iter().all(|&b| b < n_bundles));
+        prop_assert!(a.contains(&0), "bundle 0 always gets the heaviest flow");
+    }
+
+    /// Logit bundle aggregation identity on random partitions: pricing
+    /// the aggregate equals pricing the members uniformly.
+    #[test]
+    fn logit_aggregation_identity(
+        flows in arb_flows(),
+        price in 1.0f64..40.0,
+    ) {
+        let cost = LinearCost::new(0.2).unwrap();
+        let alpha = LogitAlpha::new(1.1).unwrap();
+        let Ok(fit) = fit_logit(&flows, &cost, alpha, 20.0, 0.2) else { return Ok(()); };
+        let n = fit.valuations.len();
+        let direct = logit::total_profit(
+            &fit.valuations, &vec![price; n], &fit.costs, alpha, fit.consumers,
+        ).unwrap();
+        let vb = logit::bundle_valuation(&fit.valuations, alpha).unwrap();
+        let cb = logit::bundle_cost(&fit.valuations, &fit.costs, alpha).unwrap();
+        let aggregated = logit::total_profit(&[vb], &[price], &[cb], alpha, fit.consumers).unwrap();
+        prop_assert!((direct - aggregated).abs() <= 1e-6 * direct.abs().max(1.0));
+    }
+
+    /// Refinement monotonicity: splitting one bundle never lowers optimal
+    /// profit (both demand families).
+    #[test]
+    fn refinement_never_hurts(
+        flows in arb_flows(),
+        split_flow in any::<prop::sample::Index>(),
+    ) {
+        let cost = LinearCost::new(0.2).unwrap();
+        let n = flows.len();
+        let coarse = Bundling::new(vec![0; n], 2).unwrap();
+        let mut fine_assignment = vec![0; n];
+        fine_assignment[split_flow.index(n)] = 1;
+        let fine = Bundling::new(fine_assignment, 2).unwrap();
+
+        let ced = CedMarket::new(
+            fit_ced(&flows, &cost, CedAlpha::new(1.4).unwrap(), 20.0).unwrap(),
+        ).unwrap();
+        prop_assert!(ced.profit(&fine).unwrap() >= ced.profit(&coarse).unwrap() - 1e-9);
+
+        if let Ok(fit) = fit_logit(&flows, &cost, LogitAlpha::new(1.1).unwrap(), 20.0, 0.2) {
+            let lm = LogitMarket::new(fit).unwrap();
+            prop_assert!(lm.profit(&fine).unwrap() >= lm.profit(&coarse).unwrap() - 1e-7);
+        }
+    }
+
+    /// The DP optimal never loses to the profit-weighted heuristic.
+    #[test]
+    fn dp_optimal_dominates_heuristic(flows in arb_flows(), b in 1usize..5) {
+        let cost = LinearCost::new(0.2).unwrap();
+        let market = CedMarket::new(
+            fit_ced(&flows, &cost, CedAlpha::new(1.2).unwrap(), 20.0).unwrap(),
+        ).unwrap();
+        let optimal = StrategyKind::Optimal.build();
+        let heuristic = StrategyKind::ProfitWeighted.build();
+        let p_opt = market.profit(&optimal.bundle(&market, b).unwrap()).unwrap();
+        let p_heu = market.profit(&heuristic.bundle(&market, b).unwrap()).unwrap();
+        prop_assert!(p_heu <= p_opt + 1e-9 * p_opt.abs().max(1.0));
+    }
+
+    /// NetFlow v5 records round-trip through the wire format.
+    #[test]
+    fn netflow_record_roundtrip(
+        src in any::<u32>(), dst in any::<u32>(), next in any::<u32>(),
+        ports in any::<(u16, u16)>(),
+        packets in any::<u32>(), octets in any::<u32>(),
+        proto in any::<u8>(), tos in any::<u8>(), flags in any::<u8>(),
+        asn in any::<(u16, u16)>(),
+        masks in any::<(u8, u8)>(),
+    ) {
+        let r = V5Record {
+            src_addr: src.into(),
+            dst_addr: dst.into(),
+            next_hop: next.into(),
+            input_if: 1, output_if: 2,
+            packets, octets,
+            first_ms: 0, last_ms: 1,
+            src_port: ports.0, dst_port: ports.1,
+            tcp_flags: flags, protocol: proto, tos,
+            src_as: asn.0, dst_as: asn.1,
+            src_mask: masks.0, dst_mask: masks.1,
+        };
+        let mut buf = bytes::BytesMut::new();
+        r.encode(&mut buf);
+        let decoded = V5Record::decode(&mut buf.freeze()).unwrap();
+        prop_assert_eq!(decoded, r);
+    }
+
+    /// Arbitrary bytes never panic the NetFlow decoder.
+    #[test]
+    fn netflow_decoder_never_panics(data in prop::collection::vec(any::<u8>(), 0..2048)) {
+        let _ = V5Packet::decode(&data);
+    }
+
+    /// Longest-prefix match agrees with a brute-force scan.
+    #[test]
+    fn trie_lpm_matches_brute_force(
+        prefixes in prop::collection::vec((any::<u32>(), 0u8..=32), 1..50),
+        queries in prop::collection::vec(any::<u32>(), 1..50),
+    ) {
+        let entries: Vec<(Ipv4Prefix, usize)> = prefixes
+            .iter()
+            .enumerate()
+            .map(|(i, &(addr, len))| (Ipv4Prefix::new(addr.into(), len).unwrap(), i))
+            .collect();
+        // Deduplicate by prefix (insert replaces; brute force must mirror
+        // that by keeping the LAST entry per prefix).
+        let trie: PrefixTrie<usize> = entries.iter().copied().collect();
+        for &q in &queries {
+            let addr = std::net::Ipv4Addr::from(q);
+            let brute = entries
+                .iter()
+                .rev() // last insert wins
+                .filter(|(p, _)| p.contains(addr))
+                .max_by_key(|(p, _)| p.len())
+                .map(|(p, _)| p.len());
+            let got = trie.lookup(addr).map(|(p, _)| p.len());
+            prop_assert_eq!(got, brute);
+        }
+    }
+
+    /// Haversine is a metric: symmetric, zero on the diagonal, triangle
+    /// inequality.
+    #[test]
+    fn haversine_is_a_metric(
+        a in (-89.0f64..89.0, -179.0f64..179.0),
+        b in (-89.0f64..89.0, -179.0f64..179.0),
+        c in (-89.0f64..89.0, -179.0f64..179.0),
+    ) {
+        let ca = Coord::new(a.0, a.1).unwrap();
+        let cb = Coord::new(b.0, b.1).unwrap();
+        let cc = Coord::new(c.0, c.1).unwrap();
+        prop_assert!((ca.distance_miles(&cb) - cb.distance_miles(&ca)).abs() < 1e-9);
+        prop_assert!(ca.distance_miles(&ca) < 1e-9);
+        prop_assert!(
+            ca.distance_miles(&cc) <= ca.distance_miles(&cb) + cb.distance_miles(&cc) + 1e-6
+        );
+    }
+}
+
+// ---- extensions and newer substrate modules -------------------------------
+
+use tiered_transit::core::bundling::{DemandMassDivision, NaturalBreaks};
+use tiered_transit::core::estimate::{estimate_ced_alpha, PricePoint};
+use tiered_transit::core::instruments::PricingInstrument;
+use tiered_transit::netflow::{SystematicSampler, TimedExporter, TimeoutConfig};
+use tiered_transit::routing::{Match, RouteAnnouncement, TaggingPolicy, TierTag};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Extension strategies always produce valid bundlings dominated by
+    /// the DP optimal.
+    #[test]
+    fn extension_strategies_valid_and_dominated(
+        flows in arb_flows(),
+        b in 1usize..6,
+    ) {
+        let cost = LinearCost::new(0.2).unwrap();
+        let market = CedMarket::new(
+            fit_ced(&flows, &cost, CedAlpha::new(1.2).unwrap(), 20.0).unwrap(),
+        ).unwrap();
+        let optimal = StrategyKind::Optimal.build();
+        let p_opt = market.profit(&optimal.bundle(&market, b).unwrap()).unwrap();
+        for strategy in [
+            &NaturalBreaks as &dyn tiered_transit::core::bundling::BundlingStrategy,
+            &DemandMassDivision,
+        ] {
+            let bundling = strategy.bundle(&market, b).unwrap();
+            prop_assert_eq!(bundling.n_flows(), flows.len());
+            prop_assert!(bundling.assignment().iter().all(|&x| x < b));
+            let p = market.profit(&bundling).unwrap();
+            prop_assert!(p <= p_opt + 1e-9 * p_opt.abs().max(1.0));
+        }
+    }
+
+    /// Natural breaks and demand-mass division are contiguous in cost:
+    /// bundle index is monotone along the cost-sorted order.
+    #[test]
+    fn extension_strategies_are_cost_contiguous(flows in arb_flows(), b in 1usize..5) {
+        let cost = LinearCost::new(0.2).unwrap();
+        let market = CedMarket::new(
+            fit_ced(&flows, &cost, CedAlpha::new(1.3).unwrap(), 20.0).unwrap(),
+        ).unwrap();
+        for strategy in [
+            &NaturalBreaks as &dyn tiered_transit::core::bundling::BundlingStrategy,
+            &DemandMassDivision,
+        ] {
+            let bundling = strategy.bundle(&market, b).unwrap();
+            let costs = market.costs();
+            let mut order: Vec<usize> = (0..costs.len()).collect();
+            order.sort_by(|&i, &j| {
+                costs[i].partial_cmp(&costs[j]).unwrap().then(i.cmp(&j))
+            });
+            let seq: Vec<usize> = order.iter().map(|&i| bundling.assignment()[i]).collect();
+            for w in seq.windows(2) {
+                prop_assert!(w[0] <= w[1], "{}: not contiguous", strategy.name());
+            }
+        }
+    }
+
+    /// CED alpha estimation inverts model-generated observations exactly,
+    /// for any alpha, valuation, and distinct price pair.
+    #[test]
+    fn alpha_estimation_roundtrip(
+        alpha_v in 1.05f64..8.0,
+        v in 0.2f64..50.0,
+        p1 in 1.0f64..20.0,
+        bump in 0.5f64..15.0,
+    ) {
+        let alpha = CedAlpha::new(alpha_v).unwrap();
+        let p2 = p1 + bump;
+        let obs = vec![
+            PricePoint { price: p1, demand: ced::quantity(v, p1, alpha).unwrap() },
+            PricePoint { price: p2, demand: ced::quantity(v, p2, alpha).unwrap() },
+        ];
+        let est = estimate_ced_alpha(&[obs]).unwrap();
+        prop_assert!((est - alpha_v).abs() < 1e-8, "est {est} vs {alpha_v}");
+    }
+
+    /// Instrument bundlings are always valid partitions with the declared
+    /// tier count.
+    #[test]
+    fn instruments_produce_valid_bundlings(flows in arb_flows(), thresh in 5.0f64..3000.0) {
+        for instrument in [
+            PricingInstrument::BlendedRate,
+            PricingInstrument::PaidPeering,
+            PricingInstrument::BackplanePeering { local_miles: thresh },
+            PricingInstrument::RegionalPricing,
+        ] {
+            let b = instrument.bundling(&flows).unwrap();
+            prop_assert_eq!(b.n_flows(), flows.len());
+            prop_assert_eq!(b.n_bundles(), instrument.n_tiers());
+        }
+    }
+
+    /// Tagging policies with a trailing Any rule classify every route.
+    #[test]
+    fn tagging_with_default_always_classifies(
+        prefixes in prop::collection::vec((any::<u32>(), 8u8..=28), 1..30),
+        tier_count in 1u8..6,
+    ) {
+        let policy = TaggingPolicy::new(64_500)
+            .rule(Match::PathLenAtMost(1), TierTag(0))
+            .rule(Match::Any, TierTag(tier_count));
+        for (i, &(addr, len)) in prefixes.iter().enumerate() {
+            let route = RouteAnnouncement::new(
+                Ipv4Prefix::new(addr.into(), len).unwrap(),
+                vec![1; (i % 4) + 1],
+                std::net::Ipv4Addr::new(10, 0, 0, 1),
+            );
+            let tagged = policy.apply(route);
+            prop_assert!(tagged.tier().is_some());
+        }
+    }
+
+    /// Whatever the expiry schedule, a timed exporter's total exported
+    /// volume (plus final drain) equals the offered sampled volume.
+    #[test]
+    fn timed_exporter_conserves_volume(
+        bursts in prop::collection::vec((0u8..4, 1u64..500, 100u32..2000), 1..40),
+        step_ms in 1000u32..30_000,
+    ) {
+        let mut timed = TimedExporter::new(
+            1,
+            SystematicSampler::new(1),
+            TimeoutConfig::default(),
+            0,
+        );
+        let mut offered = 0u64;
+        let mut packets_out = Vec::new();
+        for (flow, count, bytes) in bursts {
+            let key = tiered_transit::netflow::FlowKey {
+                src_addr: std::net::Ipv4Addr::new(10, 0, 0, flow),
+                dst_addr: std::net::Ipv4Addr::new(99, 9, 9, 9),
+                src_port: 1,
+                dst_port: 2,
+                protocol: 17,
+            };
+            offered += count * bytes as u64;
+            timed.observe_packets(key, count, bytes);
+            packets_out.extend(timed.advance(step_ms));
+        }
+        packets_out.extend(timed.finish());
+        let exported: u64 = packets_out
+            .iter()
+            .flat_map(|p| &p.records)
+            .map(|r| r.octets as u64)
+            .sum();
+        prop_assert_eq!(exported, offered);
+    }
+}
