@@ -37,7 +37,7 @@ fn ced_market(n: usize) -> CedMarket {
 /// weights: does the filling algorithm matter?
 fn ablation_token_bucket(c: &mut Criterion) {
     let market = ced_market(BENCH_FLOWS);
-    let weights = market.potential_profits();
+    let weights = market.potential_profits().to_vec();
 
     // Equal-count alternative: sort by weight, chop into equal groups.
     let equal_count = |weights: &[f64], b: usize| -> Vec<usize> {

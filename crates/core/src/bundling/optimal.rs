@@ -134,7 +134,7 @@ impl OptimalDp {
         match key {
             OrderingKey::Cost => market.costs().to_vec(),
             OrderingKey::Demand => market.demands().to_vec(),
-            OrderingKey::PotentialProfit => market.potential_profits(),
+            OrderingKey::PotentialProfit => market.potential_profits().to_vec(),
             OrderingKey::NetValue => market
                 .valuations()
                 .iter()
@@ -222,18 +222,24 @@ impl BundlingStrategy for OptimalDp {
             return Err(TransitError::EmptyFlowSet);
         }
         let terms = market.score_terms();
+        // Sort orders depend only on the fitted market, so they are shared
+        // across instances via the process-wide fingerprint cache.
+        let artifacts = crate::cache::artifacts_for(market);
 
         let mut best: Option<(Vec<usize>, f64)> = None;
-        for key in ORDERINGS {
-            let values = Self::key_values(key, market);
-            let mut order: Vec<usize> = (0..n).collect();
-            order.sort_by(|&i, &j| {
-                values[i]
-                    .partial_cmp(&values[j])
-                    .expect("ordering keys are finite")
-                    .then(i.cmp(&j))
+        for (slot, key) in ORDERINGS.into_iter().enumerate() {
+            let order = artifacts.order(slot, || {
+                let values = Self::key_values(key, market);
+                let mut order: Vec<usize> = (0..n).collect();
+                order.sort_by(|&i, &j| {
+                    values[i]
+                        .partial_cmp(&values[j])
+                        .expect("ordering keys are finite")
+                        .then(i.cmp(&j))
+                });
+                order
             });
-            let (assignment, score) = dp_contiguous(&terms, &order, n_bundles);
+            let (assignment, score) = dp_contiguous(terms, order, n_bundles);
             if best.as_ref().is_none_or(|(_, s)| score > *s) {
                 best = Some((assignment, score));
             }

@@ -40,7 +40,7 @@ impl WeightKind {
         let ws = match self {
             WeightKind::Demand => market.demands().to_vec(),
             WeightKind::InverseCost => market.costs().iter().map(|&c| 1.0 / c).collect(),
-            WeightKind::PotentialProfit => market.potential_profits(),
+            WeightKind::PotentialProfit => market.potential_profits().to_vec(),
         };
         for (i, w) in ws.iter().enumerate() {
             if !(w.is_finite() && *w > 0.0) {

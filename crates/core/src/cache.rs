@@ -1,0 +1,205 @@
+//! Process-wide evaluation cache for repeated market scoring.
+//!
+//! The experiment sweeps rebuild the *same* fitted market many times —
+//! once per (strategy, bundle-count, parameter-point) work item — and
+//! every [`crate::bundling::OptimalDp`] call re-sorts the flows along
+//! four orderings. Those sorts depend only on the fitted primitives, so
+//! they are memoized here, keyed by a cheap [`MarketFingerprint`] of
+//! the market's fitted vectors.
+//!
+//! Per-*instance* artifacts (score terms, potential profits) are cached
+//! inside the market structs themselves via `OnceLock` (see
+//! [`crate::market`]); this module handles artifacts that must survive
+//! across instances representing the same fitted market.
+//!
+//! Correctness contract: two markets with equal fingerprints are
+//! treated as identical. The fingerprint covers the demand family and
+//! the exact bit patterns of `P0`, valuations, costs, and demands — the
+//! complete inputs to every cached artifact — so a collision requires a
+//! 128-bit hash collision between different markets. Cached sort
+//! orders use stable index tie-breaks, making them deterministic and
+//! thread-count independent.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::market::TransitMarket;
+
+/// Number of sort-order slots per market (one per `OptimalDp` ordering).
+pub const N_ORDER_SLOTS: usize = 4;
+
+/// Entries kept before the cache evicts everything (sweeps touch a few
+/// dozen distinct markets; this only guards pathological workloads).
+const MAX_ENTRIES: usize = 512;
+
+/// A 128-bit fingerprint of a market's fitted primitives.
+///
+/// Built from two independently-seeded FNV-1a streams over the demand
+/// family, `P0`, and the bit patterns of the valuation/cost/demand
+/// vectors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MarketFingerprint {
+    lo: u64,
+    hi: u64,
+}
+
+const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+
+fn fnv_mix(state: &mut u64, word: u64) {
+    for byte in word.to_le_bytes() {
+        *state ^= u64::from(byte);
+        *state = state.wrapping_mul(FNV_PRIME);
+    }
+}
+
+impl MarketFingerprint {
+    /// Fingerprints a market in O(n).
+    pub fn of(market: &dyn TransitMarket) -> MarketFingerprint {
+        // Two different offset bases give two independent streams.
+        let mut lo = 0xcbf2_9ce4_8422_2325u64;
+        let mut hi = 0x6c62_272e_07bb_0142u64;
+        let mut feed = |word: u64| {
+            fnv_mix(&mut lo, word);
+            fnv_mix(&mut hi, word.rotate_left(17));
+        };
+        feed(market.demand_family() as u64);
+        feed(market.n_flows() as u64);
+        feed(market.blended_rate().to_bits());
+        for &v in market.valuations() {
+            feed(v.to_bits());
+        }
+        for &c in market.costs() {
+            feed(c.to_bits());
+        }
+        for &q in market.demands() {
+            feed(q.to_bits());
+        }
+        MarketFingerprint { lo, hi }
+    }
+}
+
+/// Lazily-filled artifacts shared by all instances of one fitted market.
+#[derive(Debug, Default)]
+pub struct MarketArtifacts {
+    orders: [OnceLock<Vec<usize>>; N_ORDER_SLOTS],
+}
+
+impl MarketArtifacts {
+    /// The cached sort order in `slot`, computing it with `build` on
+    /// first use. `build` must be a pure function of the fitted market
+    /// (the fingerprint guarantees all instances reaching this entry
+    /// would compute the same order).
+    pub fn order(&self, slot: usize, build: impl FnOnce() -> Vec<usize>) -> &[usize] {
+        self.orders[slot].get_or_init(build)
+    }
+}
+
+struct CacheState {
+    map: Mutex<HashMap<MarketFingerprint, Arc<MarketArtifacts>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+fn state() -> &'static CacheState {
+    static STATE: OnceLock<CacheState> = OnceLock::new();
+    STATE.get_or_init(|| CacheState {
+        map: Mutex::new(HashMap::new()),
+        hits: AtomicU64::new(0),
+        misses: AtomicU64::new(0),
+    })
+}
+
+/// The shared artifact set for `market`, creating the entry on first
+/// sight of this fingerprint.
+pub fn artifacts_for(market: &dyn TransitMarket) -> Arc<MarketArtifacts> {
+    let fp = MarketFingerprint::of(market);
+    let s = state();
+    let mut map = s.map.lock().expect("market cache poisoned");
+    if let Some(entry) = map.get(&fp) {
+        s.hits.fetch_add(1, Ordering::Relaxed);
+        return Arc::clone(entry);
+    }
+    s.misses.fetch_add(1, Ordering::Relaxed);
+    if map.len() >= MAX_ENTRIES {
+        map.clear();
+    }
+    let entry = Arc::new(MarketArtifacts::default());
+    map.insert(fp, Arc::clone(&entry));
+    entry
+}
+
+/// Lifetime (hits, misses) of the fingerprint cache. Entries handed out
+/// by [`artifacts_for`] count as hits when the fingerprint was seen
+/// before.
+pub fn cache_stats() -> (u64, u64) {
+    let s = state();
+    (
+        s.hits.load(Ordering::Relaxed),
+        s.misses.load(Ordering::Relaxed),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::LinearCost;
+    use crate::demand::ced::CedAlpha;
+    use crate::fitting::fit_ced;
+    use crate::flow::TrafficFlow;
+    use crate::market::CedMarket;
+
+    fn market(scale: f64) -> CedMarket {
+        let flows: Vec<TrafficFlow> = (0..12)
+            .map(|i| TrafficFlow::new(i, scale * (1.0 + i as f64), 5.0 + 40.0 * i as f64))
+            .collect();
+        CedMarket::new(
+            fit_ced(
+                &flows,
+                &LinearCost::new(0.2).unwrap(),
+                CedAlpha::new(1.1).unwrap(),
+                20.0,
+            )
+            .unwrap(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn equal_markets_share_fingerprints_and_artifacts() {
+        let a = market(2.0);
+        let b = market(2.0); // independently fitted, same inputs
+        assert_eq!(MarketFingerprint::of(&a), MarketFingerprint::of(&b));
+        let arta = artifacts_for(&a);
+        let artb = artifacts_for(&b);
+        assert!(Arc::ptr_eq(&arta, &artb));
+    }
+
+    #[test]
+    fn different_markets_get_different_fingerprints() {
+        let a = market(2.0);
+        let b = market(3.0);
+        assert_ne!(MarketFingerprint::of(&a), MarketFingerprint::of(&b));
+    }
+
+    #[test]
+    fn order_slot_computes_once() {
+        let m = market(5.5);
+        let art = artifacts_for(&m);
+        let mut calls = 0;
+        let first: Vec<usize> = art
+            .order(0, || {
+                calls += 1;
+                vec![2, 0, 1]
+            })
+            .to_vec();
+        let second: Vec<usize> = art
+            .order(0, || {
+                calls += 1;
+                vec![9, 9, 9]
+            })
+            .to_vec();
+        assert_eq!(calls, 1, "second access must not recompute");
+        assert_eq!(first, second);
+    }
+}

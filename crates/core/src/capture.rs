@@ -37,6 +37,13 @@ pub struct CaptureOutcome {
 /// If the market has no headroom (`π_max ≈ π_original`, e.g. all flows
 /// identical), capture is defined as 1.0 — there is nothing left to
 /// capture and any bundling trivially achieves it.
+///
+/// A market reporting *negative* headroom (`π_max < π_original`) is
+/// inconsistent for the fitted families, but the metric must still not
+/// sign-flip: dividing by a negative headroom would turn a
+/// worse-than-original profit into a *positive* capture. Normalizing by
+/// `|headroom|` keeps capture ≤ 0 exactly when the bundling does no
+/// better than the status quo.
 pub fn capture_for_bundling(
     market: &dyn TransitMarket,
     bundling: &Bundling,
@@ -48,7 +55,7 @@ pub fn capture_for_bundling(
     let capture = if headroom.abs() < 1e-12 * max.abs().max(1.0) {
         1.0
     } else {
-        (profit - original) / headroom
+        (profit - original) / headroom.abs()
     };
     Ok(CaptureOutcome {
         n_bundles: bundling.n_bundles(),
@@ -226,6 +233,83 @@ mod tests {
         .unwrap();
         let out = capture_for_strategy(&m, &TokenBucket::new(WeightKind::Demand), 3).unwrap();
         assert!((out.capture - 1.0).abs() < 1e-9);
+    }
+
+    /// A market whose reported profit ceiling sits *below* the
+    /// status-quo profit — impossible for the fitted families, but the
+    /// capture metric must not sign-flip on it.
+    struct NegativeHeadroomMarket {
+        demands: Vec<f64>,
+        valuations: Vec<f64>,
+        costs: Vec<f64>,
+        terms: crate::market::ScoreTerms,
+    }
+
+    impl NegativeHeadroomMarket {
+        fn new() -> NegativeHeadroomMarket {
+            let a = vec![1.0, 2.0, 3.0];
+            let b = vec![0.5, 0.5, 0.5];
+            NegativeHeadroomMarket {
+                demands: vec![10.0, 20.0, 30.0],
+                valuations: vec![5.0, 6.0, 7.0],
+                costs: vec![1.0, 1.0, 1.0],
+                terms: crate::market::ScoreTerms::ced(a, b, 1.5),
+            }
+        }
+    }
+
+    impl TransitMarket for NegativeHeadroomMarket {
+        fn demand_family(&self) -> crate::demand::DemandFamily {
+            crate::demand::DemandFamily::Ced
+        }
+        fn n_flows(&self) -> usize {
+            3
+        }
+        fn demands(&self) -> &[f64] {
+            &self.demands
+        }
+        fn valuations(&self) -> &[f64] {
+            &self.valuations
+        }
+        fn costs(&self) -> &[f64] {
+            &self.costs
+        }
+        fn blended_rate(&self) -> f64 {
+            20.0
+        }
+        fn potential_profits(&self) -> &[f64] {
+            &self.demands
+        }
+        fn score_terms(&self) -> &crate::market::ScoreTerms {
+            &self.terms
+        }
+        fn bundle_prices(&self, bundling: &Bundling) -> Result<Vec<Option<f64>>> {
+            Ok(vec![None; bundling.n_bundles()])
+        }
+        fn profit(&self, _bundling: &Bundling) -> Result<f64> {
+            Ok(80.0) // worse than the status quo below
+        }
+        fn original_profit(&self) -> f64 {
+            100.0
+        }
+        fn max_profit(&self) -> f64 {
+            90.0 // π_max < π_original: negative headroom
+        }
+    }
+
+    #[test]
+    fn negative_headroom_reports_nonpositive_capture() {
+        let m = NegativeHeadroomMarket::new();
+        let bundling = Bundling::per_flow(3).unwrap();
+        let out = capture_for_bundling(&m, &bundling).unwrap();
+        // profit (80) < original (100): capture must be ≤ 0, not the
+        // sign-flipped +2.0 that dividing by the raw headroom produces.
+        assert!(
+            out.capture <= 0.0,
+            "worse-than-original profit reported positive capture: {}",
+            out.capture
+        );
+        assert!((out.capture - (-2.0)).abs() < 1e-12, "capture = {}", out.capture);
     }
 
     #[test]

@@ -62,6 +62,7 @@
 #![warn(missing_docs)]
 
 pub mod bundling;
+pub mod cache;
 pub mod capture;
 pub mod cost;
 pub mod demand;

@@ -24,6 +24,8 @@
 //! constant factor (`e^{−max alpha·v}`‑style offset) to avoid overflow;
 //! only comparisons between partition sums are meaningful.
 
+use std::sync::OnceLock;
+
 use crate::bundling::Bundling;
 use crate::demand::ced::{self, CedAlpha};
 use crate::demand::logit::{self, LogitAlpha};
@@ -55,6 +57,27 @@ enum ScoreKind {
 }
 
 impl ScoreTerms {
+    /// Builds CED score terms directly (`a = v^alpha`, `b = c·v^alpha`).
+    /// Primarily for tests and mock markets; fitted markets derive their
+    /// terms internally.
+    pub fn ced(a: Vec<f64>, b: Vec<f64>, alpha: f64) -> ScoreTerms {
+        ScoreTerms {
+            a,
+            b,
+            kind: ScoreKind::Ced { alpha },
+        }
+    }
+
+    /// Builds logit score terms directly (`a = e^{alpha v}` rescaled,
+    /// `b = c·a`). Primarily for tests and mock markets.
+    pub fn logit(a: Vec<f64>, b: Vec<f64>, alpha: f64) -> ScoreTerms {
+        ScoreTerms {
+            a,
+            b,
+            kind: ScoreKind::Logit { alpha },
+        }
+    }
+
     /// Score of a bundle whose member sums are `sum_a` and `sum_b`.
     ///
     /// Additive across bundles; maximizing the partition total maximizes
@@ -111,11 +134,13 @@ pub trait TransitMarket: Send + Sync {
 
     /// Potential profit of each flow if priced alone (Eq. 12 for CED;
     /// proportional to demand for logit, Eq. 13). Used as profit-weighted
-    /// bundling weights; only relative magnitudes matter.
-    fn potential_profits(&self) -> Vec<f64>;
+    /// bundling weights; only relative magnitudes matter. Computed once
+    /// per market instance and cached.
+    fn potential_profits(&self) -> &[f64];
 
     /// Per-flow terms for O(1) additive bundle scoring (see module docs).
-    fn score_terms(&self) -> ScoreTerms;
+    /// Computed once per market instance and cached.
+    fn score_terms(&self) -> &ScoreTerms;
 
     /// Profit-maximizing price of each bundle under `bundling`; `None` for
     /// empty bundles.
@@ -146,12 +171,24 @@ fn check_bundling(bundling: &Bundling, n_flows: usize) -> Result<()> {
     Ok(())
 }
 
+/// Per-instance memo of derived evaluation artifacts.
+///
+/// `OnceLock` keeps the first computed value for the instance's
+/// lifetime; clones carry any already-computed values along (the fit is
+/// immutable, so they stay valid).
+#[derive(Debug, Clone, Default)]
+struct EvalCache {
+    terms: OnceLock<ScoreTerms>,
+    potential: OnceLock<Vec<f64>>,
+}
+
 /// CED market (separable demand).
 #[derive(Debug, Clone)]
 pub struct CedMarket {
     fit: CedFit,
     original_profit: f64,
     max_profit: f64,
+    cache: EvalCache,
 }
 
 impl CedMarket {
@@ -168,6 +205,7 @@ impl CedMarket {
             fit,
             original_profit,
             max_profit,
+            cache: EvalCache::default(),
         })
     }
 
@@ -179,6 +217,32 @@ impl CedMarket {
     /// The price-sensitivity parameter.
     pub fn alpha(&self) -> CedAlpha {
         self.fit.alpha
+    }
+
+    /// Recomputes the score terms from scratch, bypassing the cache.
+    /// Exists so tests can verify the cached path against a fresh
+    /// computation.
+    pub fn score_terms_uncached(&self) -> ScoreTerms {
+        let alpha = self.fit.alpha.get();
+        let a: Vec<f64> = self.fit.valuations.iter().map(|&v| v.powf(alpha)).collect();
+        let b: Vec<f64> = a.iter().zip(&self.fit.costs).map(|(&ai, &c)| ai * c).collect();
+        ScoreTerms {
+            a,
+            b,
+            kind: ScoreKind::Ced { alpha },
+        }
+    }
+
+    /// Recomputes potential profits from scratch, bypassing the cache.
+    pub fn potential_profits_uncached(&self) -> Vec<f64> {
+        self.fit
+            .valuations
+            .iter()
+            .zip(&self.fit.costs)
+            .map(|(&v, &c)| {
+                ced::potential_profit(v, c, self.fit.alpha).expect("fitted values are positive")
+            })
+            .collect()
     }
 }
 
@@ -207,26 +271,14 @@ impl TransitMarket for CedMarket {
         self.fit.p0
     }
 
-    fn potential_profits(&self) -> Vec<f64> {
-        self.fit
-            .valuations
-            .iter()
-            .zip(&self.fit.costs)
-            .map(|(&v, &c)| {
-                ced::potential_profit(v, c, self.fit.alpha).expect("fitted values are positive")
-            })
-            .collect()
+    fn potential_profits(&self) -> &[f64] {
+        self.cache
+            .potential
+            .get_or_init(|| self.potential_profits_uncached())
     }
 
-    fn score_terms(&self) -> ScoreTerms {
-        let alpha = self.fit.alpha.get();
-        let a: Vec<f64> = self.fit.valuations.iter().map(|&v| v.powf(alpha)).collect();
-        let b: Vec<f64> = a.iter().zip(&self.fit.costs).map(|(&ai, &c)| ai * c).collect();
-        ScoreTerms {
-            a,
-            b,
-            kind: ScoreKind::Ced { alpha },
-        }
+    fn score_terms(&self) -> &ScoreTerms {
+        self.cache.terms.get_or_init(|| self.score_terms_uncached())
     }
 
     fn bundle_prices(&self, bundling: &Bundling) -> Result<Vec<Option<f64>>> {
@@ -273,6 +325,7 @@ pub struct LogitMarket {
     fit: LogitFit,
     original_profit: f64,
     max_profit: f64,
+    cache: EvalCache,
 }
 
 impl LogitMarket {
@@ -289,7 +342,42 @@ impl LogitMarket {
             fit,
             original_profit,
             max_profit,
+            cache: EvalCache::default(),
         })
+    }
+
+    /// Recomputes the score terms from scratch, bypassing the cache.
+    /// Exists so tests can verify the cached path against a fresh
+    /// computation.
+    pub fn score_terms_uncached(&self) -> ScoreTerms {
+        let alpha = self.fit.alpha.get();
+        // Rescale by e^{-alpha·max v} so terms stay in (0, 1]; partition
+        // sums remain comparable (common factor) and cannot overflow.
+        let max_v = self
+            .fit
+            .valuations
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max);
+        let a: Vec<f64> = self
+            .fit
+            .valuations
+            .iter()
+            .map(|&v| (alpha * (v - max_v)).exp())
+            .collect();
+        let b: Vec<f64> = a.iter().zip(&self.fit.costs).map(|(&ai, &c)| ai * c).collect();
+        ScoreTerms {
+            a,
+            b,
+            kind: ScoreKind::Logit { alpha },
+        }
+    }
+
+    /// Recomputes potential profits from scratch, bypassing the cache.
+    pub fn potential_profits_uncached(&self) -> Vec<f64> {
+        // Eq. 13: potential profit is proportional to observed demand, so
+        // the demands themselves serve as weights.
+        self.fit.demands.clone()
     }
 
     /// The underlying fit.
@@ -343,34 +431,14 @@ impl TransitMarket for LogitMarket {
         self.fit.p0
     }
 
-    fn potential_profits(&self) -> Vec<f64> {
-        // Eq. 13: potential profit is proportional to observed demand, so
-        // the demands themselves serve as weights.
-        self.fit.demands.clone()
+    fn potential_profits(&self) -> &[f64] {
+        self.cache
+            .potential
+            .get_or_init(|| self.potential_profits_uncached())
     }
 
-    fn score_terms(&self) -> ScoreTerms {
-        let alpha = self.fit.alpha.get();
-        // Rescale by e^{-alpha·max v} so terms stay in (0, 1]; partition
-        // sums remain comparable (common factor) and cannot overflow.
-        let max_v = self
-            .fit
-            .valuations
-            .iter()
-            .copied()
-            .fold(f64::NEG_INFINITY, f64::max);
-        let a: Vec<f64> = self
-            .fit
-            .valuations
-            .iter()
-            .map(|&v| (alpha * (v - max_v)).exp())
-            .collect();
-        let b: Vec<f64> = a.iter().zip(&self.fit.costs).map(|(&ai, &c)| ai * c).collect();
-        ScoreTerms {
-            a,
-            b,
-            kind: ScoreKind::Logit { alpha },
-        }
+    fn score_terms(&self) -> &ScoreTerms {
+        self.cache.terms.get_or_init(|| self.score_terms_uncached())
     }
 
     fn bundle_prices(&self, bundling: &Bundling) -> Result<Vec<Option<f64>>> {

@@ -19,6 +19,9 @@ pub struct ExperimentConfig {
     pub s0: f64,
     /// Largest bundle count evaluated (paper plots 1–6).
     pub max_bundles: usize,
+    /// Sweep-engine worker threads (`0` = one per available core).
+    /// Results are identical for every value; see `engine`.
+    pub jobs: usize,
 }
 
 impl Default for ExperimentConfig {
@@ -31,6 +34,7 @@ impl Default for ExperimentConfig {
             theta: 0.2,
             s0: 0.2,
             max_bundles: 6,
+            jobs: 0,
         }
     }
 }

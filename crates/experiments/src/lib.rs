@@ -16,10 +16,12 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod engine;
 pub mod markets;
 pub mod output;
 pub mod runners;
 
 pub use config::ExperimentConfig;
+pub use engine::{ItemTiming, SweepEngine};
 pub use output::{ExperimentResult, Figure, Series, TableOut};
 pub use runners::{run, ALL_IDS, EXTENSION_IDS, SENSITIVITY_IDS};

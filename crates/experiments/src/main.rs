@@ -6,7 +6,7 @@ use transit_experiments::{run, ExperimentConfig, ALL_IDS, EXTENSION_IDS, SENSITI
 
 fn usage() -> String {
     format!(
-        "usage: transit-experiments <experiment|all|full|ext> [--json] [--chart] [--quick] [--flows N] [--seed S] [--out DIR]\n\
+        "usage: transit-experiments <experiment|all|full|ext> [--json] [--chart] [--quick] [--flows N] [--seed S] [--jobs N] [--out DIR]\n\
          experiments: {} {} {}",
         ALL_IDS.join(" "),
         SENSITIVITY_IDS.join(" "),
@@ -42,6 +42,13 @@ fn main() -> ExitCode {
                 Some(s) => config.seed = s,
                 None => {
                     eprintln!("--seed needs a number\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--jobs" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => config.jobs = n,
+                None => {
+                    eprintln!("--jobs needs a number (0 = all cores)\n{}", usage());
                     return ExitCode::FAILURE;
                 }
             },

@@ -6,6 +6,8 @@
 
 use serde::Serialize;
 
+use crate::engine::ItemTiming;
+
 /// One plotted series: `label` with y-values over the figure's x-axis.
 #[derive(Debug, Clone, Serialize)]
 pub struct Series {
@@ -53,7 +55,7 @@ pub struct TableOut {
 }
 
 /// A complete experiment result.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct ExperimentResult {
     /// Experiment id (`"fig8"`, `"table1"`, ...).
     pub id: String,
@@ -65,6 +67,25 @@ pub struct ExperimentResult {
     pub tables: Vec<TableOut>,
     /// Figures produced.
     pub figures: Vec<Figure>,
+    /// Per-item wall-clock timings from the sweep engine. **Not**
+    /// serialized: timings differ between runs and would break the
+    /// golden-output guarantee that `--jobs 1` and `--jobs 8` produce
+    /// byte-identical JSON.
+    pub timings: Vec<ItemTiming>,
+}
+
+// Hand-written so `timings` stays out of the JSON (the vendored serde
+// derive has no field-skip attribute).
+impl Serialize for ExperimentResult {
+    fn to_content(&self) -> serde::Content {
+        serde::Content::Map(vec![
+            ("id".into(), self.id.to_content()),
+            ("title".into(), self.title.to_content()),
+            ("notes".into(), self.notes.to_content()),
+            ("tables".into(), self.tables.to_content()),
+            ("figures".into(), self.figures.to_content()),
+        ])
+    }
 }
 
 impl ExperimentResult {
@@ -76,6 +97,7 @@ impl ExperimentResult {
             notes: Vec::new(),
             tables: Vec::new(),
             figures: Vec::new(),
+            timings: Vec::new(),
         }
     }
 

@@ -6,100 +6,108 @@ use transit_core::capture::capture_curve;
 use transit_core::cost::LinearCost;
 use transit_core::demand::DemandFamily;
 use transit_core::error::Result;
+use transit_core::market::TransitMarket;
 use transit_datasets::Network;
 
 use crate::config::ExperimentConfig;
+use crate::engine::{ItemTiming, SweepEngine};
 use crate::markets::{fit_market, flows_for};
 use crate::output::{ExperimentResult, Figure, Series};
 
-fn capture_figure(
-    id: &str,
+/// Builds one capture-figure result: markets are fitted per panel, then
+/// every (panel, strategy) pair becomes an independent sweep item and
+/// the curves merge back in panel-major, strategy-minor paper order.
+fn capture_result(
+    result_id: &str,
+    title: &str,
+    panels: &[(&str, Network)],
     family: DemandFamily,
-    network: Network,
     strategies: &[StrategyKind],
     config: &ExperimentConfig,
-) -> Result<Figure> {
-    let flows = flows_for(network, config);
+) -> Result<ExperimentResult> {
+    let mut r = ExperimentResult::new(result_id, title);
+    let engine = SweepEngine::from_config(config);
     let cost = LinearCost::new(config.theta)?;
-    let market = fit_market(family, &flows, &cost, config)?;
 
-    let mut figure = Figure {
-        id: id.into(),
-        title: format!(
-            "Profit capture, {} demand — {}",
-            family.label(),
-            network.label()
-        ),
-        x_label: "# of bundles".into(),
-        y_label: "profit capture".into(),
-        x: (1..=config.max_bundles).map(|b| b as f64).collect(),
-        series: Vec::new(),
-    };
-    for &kind in strategies {
+    // Fitting is cheap next to the capture sweeps; do it up front so
+    // every work item shares one immutable market per panel.
+    let markets: Vec<Box<dyn TransitMarket>> = panels
+        .iter()
+        .map(|&(_, network)| fit_market(family, &flows_for(network, config), &cost, config))
+        .collect::<Result<_>>()?;
+
+    let items: Vec<(usize, StrategyKind)> = (0..panels.len())
+        .flat_map(|pi| strategies.iter().map(move |&kind| (pi, kind)))
+        .collect();
+    let (curves, durations) = engine.try_run_timed(&items, |_, &(pi, kind)| {
         let strategy = kind.build();
-        let curve = capture_curve(market.as_ref(), strategy.as_ref(), config.max_bundles)?;
-        figure.series.push(Series {
-            label: kind.label().into(),
-            y: curve.capture,
+        capture_curve(markets[pi].as_ref(), strategy.as_ref(), config.max_bundles)
+            .map(|curve| curve.capture)
+    })?;
+    for (&(pi, kind), d) in items.iter().zip(&durations) {
+        r.timings.push(ItemTiming {
+            label: format!("{}/{}", panels[pi].0, kind.label()),
+            seconds: d.as_secs_f64(),
         });
     }
-    Ok(figure)
+
+    let mut curves = curves.into_iter();
+    for &(panel, network) in panels {
+        let mut figure = Figure {
+            id: panel.into(),
+            title: format!(
+                "Profit capture, {} demand — {}",
+                family.label(),
+                network.label()
+            ),
+            x_label: "# of bundles".into(),
+            y_label: "profit capture".into(),
+            x: (1..=config.max_bundles).map(|b| b as f64).collect(),
+            series: Vec::new(),
+        };
+        for &kind in strategies {
+            figure.series.push(Series {
+                label: kind.label().into(),
+                y: curves.next().expect("one curve per (panel, strategy)"),
+            });
+        }
+        r.figures.push(figure);
+    }
+    Ok(r)
 }
 
 /// Fig. 8 (a–c): six strategies under constant-elasticity demand, one
 /// panel per network.
 pub fn fig8(config: &ExperimentConfig) -> Result<ExperimentResult> {
-    let mut r = ExperimentResult::new(
+    capture_result(
         "fig8",
         "Profit capture for different bundling strategies, constant elasticity demand",
-    );
-    for (panel, network) in [(
-        "fig8a",
-        Network::EuIsp,
-    ), (
-        "fig8b",
-        Network::Internet2,
-    ), (
-        "fig8c",
-        Network::Cdn,
-    )] {
-        r.figures.push(capture_figure(
-            panel,
-            DemandFamily::Ced,
-            network,
-            &StrategyKind::ALL,
-            config,
-        )?);
-    }
-    Ok(r)
+        &[
+            ("fig8a", Network::EuIsp),
+            ("fig8b", Network::Internet2),
+            ("fig8c", Network::Cdn),
+        ],
+        DemandFamily::Ced,
+        &StrategyKind::ALL,
+        config,
+    )
 }
 
 /// Fig. 9 (a–c): five strategies under logit demand (demand-weighted ≡
 /// profit-weighted there, Eq. 13).
 pub fn fig9(config: &ExperimentConfig) -> Result<ExperimentResult> {
-    let mut r = ExperimentResult::new(
+    capture_result(
         "fig9",
         "Profit capture for different bundling strategies, logit demand",
-    );
-    for (panel, network) in [(
-        "fig9a",
-        Network::EuIsp,
-    ), (
-        "fig9b",
-        Network::Internet2,
-    ), (
-        "fig9c",
-        Network::Cdn,
-    )] {
-        r.figures.push(capture_figure(
-            panel,
-            DemandFamily::Logit,
-            network,
-            &StrategyKind::LOGIT,
-            config,
-        )?);
-    }
-    Ok(r)
+        &[
+            ("fig9a", Network::EuIsp),
+            ("fig9b", Network::Internet2),
+            ("fig9c", Network::Cdn),
+        ],
+        DemandFamily::Logit,
+        &StrategyKind::LOGIT,
+        config,
+    )
 }
 
 #[cfg(test)]

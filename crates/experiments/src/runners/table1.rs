@@ -5,6 +5,7 @@ use transit_core::error::Result;
 use transit_datasets::{generate, DatasetStats, Network};
 
 use crate::config::ExperimentConfig;
+use crate::engine::{ItemTiming, SweepEngine};
 use crate::output::{ExperimentResult, TableOut};
 
 /// Regenerates Table 1 from the synthetic datasets and prints target vs
@@ -28,11 +29,14 @@ pub fn table1(config: &ExperimentConfig) -> Result<ExperimentResult> {
         ],
         rows: Vec::new(),
     };
-    for network in Network::ALL {
+    // One work item per network: generate the dataset and measure it.
+    // Rows merge back in `Network::ALL` order regardless of `--jobs`.
+    let engine = SweepEngine::from_config(config);
+    let rows = engine.run_timed(&Network::ALL, |_, &network| {
         let targets = network.table1_targets();
         let ds = generate(network, config.n_flows, config.seed);
         let stats = DatasetStats::of(&ds.flows);
-        t.rows.push(vec![
+        vec![
             network.label().into(),
             targets.date.into(),
             format!("{:.0}", targets.wavg_distance_miles),
@@ -43,7 +47,14 @@ pub fn table1(config: &ExperimentConfig) -> Result<ExperimentResult> {
             format!("{:.1}", stats.aggregate_gbps),
             format!("{:.2}", targets.cv_demand),
             format!("{:.2}", stats.cv_demand),
-        ]);
+        ]
+    });
+    for (network, (row, d)) in Network::ALL.into_iter().zip(rows) {
+        t.rows.push(row);
+        r.timings.push(ItemTiming {
+            label: format!("table1/{}", network.label()),
+            seconds: d.as_secs_f64(),
+        });
     }
     r.notes.push(format!(
         "synthetic datasets with n={} flows, seed {}; aggregate and demand CV are \

@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Full local gate: lint everything (warnings are errors), then run the
+# whole workspace test suite. Mirrors what CI should enforce.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== clippy (all targets, -D warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== tests (workspace) =="
+cargo test --workspace -q
+
+echo "OK"

@@ -1,0 +1,213 @@
+//! Offline shim for the `bytes` crate.
+//!
+//! Covers exactly the surface the `transit-netflow` wire codec uses:
+//! [`Buf`]/[`BufMut`] with big-endian integer accessors, a growable
+//! [`BytesMut`] builder, and an immutable [`Bytes`] view that consumes
+//! from the front as it is read. Backed by plain `Vec<u8>` — no
+//! refcounted slices, no `unsafe`.
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Deref, DerefMut};
+
+/// Read access to a byte buffer, consuming from the front.
+///
+/// `get_*` methods panic when fewer than the needed bytes remain,
+/// matching the real crate; callers are expected to check
+/// [`Buf::remaining`] first.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+
+    /// Reads one byte, advancing the buffer.
+    fn get_u8(&mut self) -> u8;
+
+    /// Reads a big-endian u16.
+    fn get_u16(&mut self) -> u16 {
+        u16::from_be_bytes([self.get_u8(), self.get_u8()])
+    }
+
+    /// Reads a big-endian u32.
+    fn get_u32(&mut self) -> u32 {
+        u32::from_be_bytes([self.get_u8(), self.get_u8(), self.get_u8(), self.get_u8()])
+    }
+}
+
+/// Write access to a growable byte buffer.
+pub trait BufMut {
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8);
+
+    /// Appends a big-endian u16.
+    fn put_u16(&mut self, v: u16) {
+        for b in v.to_be_bytes() {
+            self.put_u8(b);
+        }
+    }
+
+    /// Appends a big-endian u32.
+    fn put_u32(&mut self, v: u32) {
+        for b in v.to_be_bytes() {
+            self.put_u8(b);
+        }
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        let (&first, rest) = self.split_first().expect("buffer underflow");
+        *self = rest;
+        first
+    }
+}
+
+/// An immutable byte buffer that advances past bytes as they are read.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Bytes {
+    data: Vec<u8>,
+    pos: usize,
+}
+
+impl Bytes {
+    /// Unread length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// True when no bytes remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data[self.pos..]
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Bytes {
+        Bytes { data, pos: 0 }
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        let b = self.data[self.pos];
+        self.pos += 1;
+        b
+    }
+}
+
+/// A growable byte buffer for building wire messages.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> BytesMut {
+        BytesMut::default()
+    }
+
+    /// An empty buffer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> BytesMut {
+        BytesMut {
+            data: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Converts into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes {
+            data: self.data,
+            pos: 0,
+        }
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.data
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_u8(&mut self, v: u8) {
+        self.data.push(v);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_u8(&mut self, v: u8) {
+        self.push(v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn big_endian_roundtrip() {
+        let mut buf = BytesMut::with_capacity(7);
+        buf.put_u8(0xAB);
+        buf.put_u16(0x1234);
+        buf.put_u32(0xDEAD_BEEF);
+        assert_eq!(buf.len(), 7);
+        assert_eq!(&buf[..3], &[0xAB, 0x12, 0x34]);
+
+        let mut frozen = buf.freeze();
+        assert_eq!(frozen.remaining(), 7);
+        assert_eq!(frozen.get_u8(), 0xAB);
+        assert_eq!(frozen.get_u16(), 0x1234);
+        assert_eq!(frozen.get_u32(), 0xDEAD_BEEF);
+        assert_eq!(frozen.remaining(), 0);
+    }
+
+    #[test]
+    fn slice_buf_advances() {
+        let data = [1u8, 0, 2, 0, 0, 0, 3];
+        let mut cursor: &[u8] = &data;
+        assert_eq!(cursor.get_u8(), 1);
+        assert_eq!(cursor.get_u16(), 2);
+        assert_eq!(cursor.get_u32(), 3);
+        assert_eq!(cursor.remaining(), 0);
+    }
+
+    #[test]
+    fn bytes_mut_is_indexable_and_mutable() {
+        let mut buf = BytesMut::new();
+        buf.put_u16(0x0005);
+        buf[0] = 9;
+        assert_eq!(&buf[..], &[9, 5]);
+    }
+}

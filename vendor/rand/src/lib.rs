@@ -1,0 +1,175 @@
+//! Offline shim for the `rand` crate (0.9 API surface).
+//!
+//! Provides the subset the dataset generators use: a deterministic
+//! [`rngs::StdRng`] seeded via [`SeedableRng::seed_from_u64`],
+//! [`Rng::random_range`] over integer ranges and inclusive float
+//! ranges, and Fisher–Yates [`seq::SliceRandom::shuffle`].
+//!
+//! The generator is SplitMix64 — not the real StdRng's ChaCha12, so
+//! absolute streams differ from upstream rand, but all workspace
+//! outputs are defined relative to this generator and stay
+//! reproducible for a given seed.
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// A source of randomness.
+pub trait Rng {
+    /// Next 64 pseudo-random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform value in `range`.
+    fn random_range<T, S: SampleRange<T>>(&mut self, range: S) -> T
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+}
+
+impl<R: Rng> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Ranges [`Rng::random_range`] can sample from.
+pub trait SampleRange<T> {
+    /// Draws a uniform value from the range.
+    fn sample<R: Rng>(self, rng: &mut R) -> T;
+}
+
+macro_rules! int_sample_ranges {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample<R: Rng>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + (rng.next_u64() % span) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample<R: Rng>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                let span = (end - start) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                start + (rng.next_u64() % (span + 1)) as $t
+            }
+        }
+    )*};
+}
+
+int_sample_ranges!(u8, u16, u32, u64, usize);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample<R: Rng>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        self.start + (self.end - self.start) * unit_f64(rng)
+    }
+}
+
+impl SampleRange<f64> for RangeInclusive<f64> {
+    fn sample<R: Rng>(self, rng: &mut R) -> f64 {
+        self.start() + (self.end() - self.start()) * unit_f64(rng)
+    }
+}
+
+/// Uniform f64 in `[0, 1)` from the generator's top 53 bits.
+fn unit_f64<R: Rng>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Deterministically seedable generators.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Concrete generator types.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// The workspace's standard deterministic generator (SplitMix64).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            StdRng { state: seed }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+/// Sequence-related helpers.
+pub mod seq {
+    use super::Rng;
+
+    /// In-place random reordering of slices.
+    pub trait SliceRandom {
+        /// Fisher–Yates shuffle driven by `rng`.
+        fn shuffle<R: Rng>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: Rng>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let i = rng.random_range(0usize..7);
+            assert!(i < 7);
+            let f = rng.random_range(-2.5f64..=2.5);
+            assert!((-2.5..=2.5).contains(&f));
+        }
+    }
+
+    #[test]
+    fn shuffle_permutes() {
+        let mut v: Vec<u32> = (0..50).collect();
+        let original = v.clone();
+        v.shuffle(&mut StdRng::seed_from_u64(3));
+        assert_ne!(v, original, "50 elements should not shuffle to identity");
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, original);
+    }
+}

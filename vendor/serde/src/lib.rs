@@ -1,0 +1,270 @@
+//! Offline shim for the `serde` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors a minimal serde replacement. Instead of serde's
+//! visitor-based architecture, serialization goes through one concrete
+//! JSON-shaped tree, [`Content`]: `Serialize::to_content` produces it
+//! and `serde_json` (also vendored) renders it. `Deserialize` is a
+//! marker trait only — nothing in the workspace deserializes into typed
+//! structs (JSON is only ever parsed into `serde_json::Value`).
+//!
+//! Field/variant encoding follows serde's JSON conventions so that any
+//! future swap back to real serde keeps output shapes identical:
+//! named structs → objects, newtype structs → the inner value, tuple
+//! structs → arrays, unit enum variants → strings, data-carrying
+//! variants → single-key objects.
+
+#![forbid(unsafe_code)]
+
+use std::collections::{BTreeMap, HashMap};
+use std::net::Ipv4Addr;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The serialization data model: a JSON-shaped tree.
+///
+/// `Map` keeps insertion order (fields serialize in declaration order),
+/// which is what makes rendered JSON deterministic.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// JSON null.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A signed integer.
+    I64(i64),
+    /// An unsigned integer.
+    U64(u64),
+    /// A float.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Seq(Vec<Content>),
+    /// An ordered key-value map.
+    Map(Vec<(String, Content)>),
+}
+
+/// A type that can render itself into the [`Content`] data model.
+pub trait Serialize {
+    /// Converts `self` to the serialization tree.
+    fn to_content(&self) -> Content;
+}
+
+/// Marker trait mirroring serde's `Deserialize`.
+///
+/// Derived impls exist so `#[derive(Deserialize)]` compiles; typed
+/// deserialization is intentionally unsupported (the workspace only
+/// parses JSON into `serde_json::Value`).
+pub trait Deserialize {}
+
+macro_rules! ser_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {}
+    )*};
+}
+
+macro_rules! ser_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::I64(*self as i64)
+            }
+        }
+        impl Deserialize for $t {}
+    )*};
+}
+
+ser_unsigned!(u8, u16, u32, u64, usize);
+ser_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_content(&self) -> Content {
+        Content::F64(*self)
+    }
+}
+impl Deserialize for f64 {}
+
+impl Serialize for f32 {
+    fn to_content(&self) -> Content {
+        Content::F64(f64::from(*self))
+    }
+}
+impl Deserialize for f32 {}
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+impl Deserialize for bool {}
+
+impl Serialize for char {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+impl Deserialize for char {}
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+impl Deserialize for String {}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Serialize for Ipv4Addr {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+impl Deserialize for Ipv4Addr {}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            Some(v) => v.to_content(),
+            None => Content::Null,
+        }
+    }
+}
+impl<T> Deserialize for Option<T> {}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+impl<T> Deserialize for Vec<T> {}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+macro_rules! ser_tuple {
+    ($(($($n:tt $t:ident),+)),+ $(,)?) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_content(&self) -> Content {
+                Content::Seq(vec![$(self.$n.to_content()),+])
+            }
+        }
+        impl<$($t),+> Deserialize for ($($t,)+) {}
+    )+};
+}
+
+ser_tuple!(
+    (0 A),
+    (0 A, 1 B),
+    (0 A, 1 B, 2 C),
+    (0 A, 1 B, 2 C, 3 D),
+);
+
+/// Maps serialize as a sequence of `[key, value]` pairs, sorted by the
+/// key's rendered form so `HashMap` iteration order cannot leak into
+/// output.
+fn map_to_content<'a, K: Serialize + 'a, V: Serialize + 'a>(
+    entries: impl Iterator<Item = (&'a K, &'a V)>,
+) -> Content {
+    let mut pairs: Vec<(String, Content, Content)> = entries
+        .map(|(k, v)| {
+            let kc = k.to_content();
+            (format!("{kc:?}"), kc, v.to_content())
+        })
+        .collect();
+    pairs.sort_by(|a, b| a.0.cmp(&b.0));
+    Content::Seq(
+        pairs
+            .into_iter()
+            .map(|(_, k, v)| Content::Seq(vec![k, v]))
+            .collect(),
+    )
+}
+
+impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn to_content(&self) -> Content {
+        map_to_content(self.iter())
+    }
+}
+impl<K, V, S> Deserialize for HashMap<K, V, S> {}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_content(&self) -> Content {
+        map_to_content(self.iter())
+    }
+}
+impl<K, V> Deserialize for BTreeMap<K, V> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_map_to_expected_variants() {
+        assert_eq!(3u8.to_content(), Content::U64(3));
+        assert_eq!((-3i32).to_content(), Content::I64(-3));
+        assert_eq!(1.5f64.to_content(), Content::F64(1.5));
+        assert_eq!(true.to_content(), Content::Bool(true));
+        assert_eq!("x".to_content(), Content::Str("x".into()));
+        assert_eq!(Option::<u8>::None.to_content(), Content::Null);
+    }
+
+    #[test]
+    fn sequences_and_tuples_nest() {
+        let v = vec![(1u8, 2.0f64)];
+        assert_eq!(
+            v.to_content(),
+            Content::Seq(vec![Content::Seq(vec![
+                Content::U64(1),
+                Content::F64(2.0)
+            ])])
+        );
+    }
+
+    #[test]
+    fn hashmap_order_is_deterministic() {
+        let mut m = HashMap::new();
+        for i in 0..20u32 {
+            m.insert(i, i * 2);
+        }
+        let a = m.to_content();
+        let b = m.clone().to_content();
+        assert_eq!(a, b);
+        if let Content::Seq(pairs) = a {
+            assert_eq!(pairs.len(), 20);
+        } else {
+            panic!("expected seq");
+        }
+    }
+}
