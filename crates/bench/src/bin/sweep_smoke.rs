@@ -1,0 +1,87 @@
+//! Sweep bench-smoke: a fast, scriptable scaling check that writes
+//! `BENCH_sweep.json` (used by `scripts/check.sh`).
+//!
+//! Measures fig8 — 3 panels × 6 strategies = 18 DP-heavy sweep items —
+//! three ways:
+//!
+//! * items/sec at `jobs = 1`, observability quiet,
+//! * items/sec at `jobs = N` (all cores), observability quiet,
+//! * items/sec at `jobs = 1` with spans enabled (info level), from which
+//!   the observability overhead percentage is derived. The acceptance
+//!   budget for that overhead is ≤ 5%.
+
+use std::time::Instant;
+
+use transit_experiments::{runners, ExperimentConfig};
+
+const ITEMS_PER_RUN: usize = 18; // fig8: 3 panels x 6 strategies
+const REPS: usize = 3;
+
+fn config(jobs: usize, log_level: transit_obs::Level) -> ExperimentConfig {
+    ExperimentConfig {
+        n_flows: 80,
+        jobs,
+        log_level,
+        ..ExperimentConfig::default()
+    }
+}
+
+/// Items/sec for fig8 under `cfg`, best of [`REPS`] timed runs (best-of
+/// suppresses scheduler noise better than the mean on shared machines).
+fn items_per_sec(cfg: &ExperimentConfig) -> f64 {
+    transit_obs::set_log_level(cfg.log_level);
+    let mut best = f64::INFINITY;
+    for _ in 0..REPS {
+        let start = Instant::now();
+        runners::run("fig8", cfg).expect("fig8 runs").expect("fig8 known");
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    ITEMS_PER_RUN as f64 / best
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_sweep.json".to_string());
+    let jobs_n = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+
+    // Warmup primes the fingerprint cache and the allocator.
+    runners::run("fig8", &config(1, transit_obs::Level::Quiet))
+        .expect("fig8 runs")
+        .expect("fig8 known");
+
+    let quiet1 = items_per_sec(&config(1, transit_obs::Level::Quiet));
+    let quiet_n = items_per_sec(&config(jobs_n, transit_obs::Level::Quiet));
+    let info1 = items_per_sec(&config(1, transit_obs::Level::Info));
+    transit_obs::set_log_level(transit_obs::Level::Info);
+
+    let overhead_pct = (quiet1 / info1 - 1.0) * 100.0;
+    let report = serde::Content::Map(vec![
+        (
+            "schema".into(),
+            serde::Content::Str("transit-bench/sweep-smoke/v1".into()),
+        ),
+        ("experiment".into(), serde::Content::Str("fig8".into())),
+        ("n_flows".into(), serde::Content::U64(80)),
+        ("items_per_run".into(), serde::Content::U64(ITEMS_PER_RUN as u64)),
+        ("reps".into(), serde::Content::U64(REPS as u64)),
+        ("jobs_n".into(), serde::Content::U64(jobs_n as u64)),
+        ("items_per_sec_jobs1".into(), serde::Content::F64(quiet1)),
+        ("items_per_sec_jobsN".into(), serde::Content::F64(quiet_n)),
+        ("speedup_jobsN".into(), serde::Content::F64(quiet_n / quiet1)),
+        (
+            "items_per_sec_jobs1_info".into(),
+            serde::Content::F64(info1),
+        ),
+        (
+            "obs_overhead_pct_info_vs_quiet".into(),
+            serde::Content::F64(overhead_pct),
+        ),
+    ]);
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&out_path, &json).expect("bench report writes");
+    println!("{json}");
+    println!("wrote {out_path}");
+}

@@ -221,6 +221,8 @@ impl BundlingStrategy for OptimalDp {
         if n == 0 {
             return Err(TransitError::EmptyFlowSet);
         }
+        let _span = transit_obs::debug_span!("optimal_dp.bundle", n_bundles = n_bundles);
+        transit_obs::counter!("bundling.dp.builds").inc();
         let terms = market.score_terms();
         // Sort orders depend only on the fitted market, so they are shared
         // across instances via the process-wide fingerprint cache.
@@ -229,6 +231,7 @@ impl BundlingStrategy for OptimalDp {
         let mut best: Option<(Vec<usize>, f64)> = None;
         for (slot, key) in ORDERINGS.into_iter().enumerate() {
             let order = artifacts.order(slot, || {
+                transit_obs::counter!("cache.order.builds").inc();
                 let values = Self::key_values(key, market);
                 let mut order: Vec<usize> = (0..n).collect();
                 order.sort_by(|&i, &j| {

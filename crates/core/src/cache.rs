@@ -21,7 +21,6 @@
 //! thread-count independent.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
 use crate::market::TransitMarket;
@@ -95,32 +94,27 @@ impl MarketArtifacts {
     }
 }
 
-struct CacheState {
-    map: Mutex<HashMap<MarketFingerprint, Arc<MarketArtifacts>>>,
-    hits: AtomicU64,
-    misses: AtomicU64,
-}
+/// Registry counter name for fingerprint-cache hits.
+pub const HITS_COUNTER: &str = "cache.fingerprint.hits";
+/// Registry counter name for fingerprint-cache misses.
+pub const MISSES_COUNTER: &str = "cache.fingerprint.misses";
 
-fn state() -> &'static CacheState {
-    static STATE: OnceLock<CacheState> = OnceLock::new();
-    STATE.get_or_init(|| CacheState {
-        map: Mutex::new(HashMap::new()),
-        hits: AtomicU64::new(0),
-        misses: AtomicU64::new(0),
-    })
+fn state() -> &'static Mutex<HashMap<MarketFingerprint, Arc<MarketArtifacts>>> {
+    static STATE: OnceLock<Mutex<HashMap<MarketFingerprint, Arc<MarketArtifacts>>>> =
+        OnceLock::new();
+    STATE.get_or_init(|| Mutex::new(HashMap::new()))
 }
 
 /// The shared artifact set for `market`, creating the entry on first
 /// sight of this fingerprint.
 pub fn artifacts_for(market: &dyn TransitMarket) -> Arc<MarketArtifacts> {
     let fp = MarketFingerprint::of(market);
-    let s = state();
-    let mut map = s.map.lock().expect("market cache poisoned");
+    let mut map = state().lock().expect("market cache poisoned");
     if let Some(entry) = map.get(&fp) {
-        s.hits.fetch_add(1, Ordering::Relaxed);
+        transit_obs::counter!(HITS_COUNTER).inc();
         return Arc::clone(entry);
     }
-    s.misses.fetch_add(1, Ordering::Relaxed);
+    transit_obs::counter!(MISSES_COUNTER).inc();
     if map.len() >= MAX_ENTRIES {
         map.clear();
     }
@@ -129,15 +123,62 @@ pub fn artifacts_for(market: &dyn TransitMarket) -> Arc<MarketArtifacts> {
     entry
 }
 
+/// Point-in-time hit/miss totals of the fingerprint cache, read from the
+/// `transit-obs` metrics registry.
+///
+/// The totals are process-lifetime, which makes raw values useless for
+/// assertions whenever anything else in the process also touches the
+/// cache (e.g. `cargo test` running suites in one binary). Scope with a
+/// baseline instead: take a [`CacheStats::snapshot`] before the work
+/// under measurement and subtract with [`CacheStats::delta_since`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups answered by an existing entry.
+    pub hits: u64,
+    /// Lookups that created a new entry.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Reads the current process-lifetime totals.
+    pub fn snapshot() -> CacheStats {
+        CacheStats {
+            hits: transit_obs::metrics::counter(HITS_COUNTER).get(),
+            misses: transit_obs::metrics::counter(MISSES_COUNTER).get(),
+        }
+    }
+
+    /// Activity between `baseline` and this snapshot (saturating, so a
+    /// [`reset`] between the two reads as zero rather than wrapping).
+    pub fn delta_since(&self, baseline: &CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits.saturating_sub(baseline.hits),
+            misses: self.misses.saturating_sub(baseline.misses),
+        }
+    }
+}
+
+/// Clears the fingerprint map and zeroes the hit/miss counters.
+///
+/// For callers that want a hard scope boundary (benchmarks, serialized
+/// tests) rather than snapshot deltas. Not safe to interleave with
+/// concurrent sweeps — entries handed out earlier stay alive via their
+/// `Arc`s, but counts from in-flight lookups land on either side.
+pub fn reset() {
+    state().lock().expect("market cache poisoned").clear();
+    transit_obs::metrics::counter(HITS_COUNTER).reset();
+    transit_obs::metrics::counter(MISSES_COUNTER).reset();
+}
+
 /// Lifetime (hits, misses) of the fingerprint cache. Entries handed out
 /// by [`artifacts_for`] count as hits when the fingerprint was seen
 /// before.
+///
+/// Compatibility shim over [`CacheStats::snapshot`]; prefer snapshot
+/// deltas for anything order-sensitive.
 pub fn cache_stats() -> (u64, u64) {
-    let s = state();
-    (
-        s.hits.load(Ordering::Relaxed),
-        s.misses.load(Ordering::Relaxed),
-    )
+    let s = CacheStats::snapshot();
+    (s.hits, s.misses)
 }
 
 #[cfg(test)]
@@ -180,6 +221,27 @@ mod tests {
         let a = market(2.0);
         let b = market(3.0);
         assert_ne!(MarketFingerprint::of(&a), MarketFingerprint::of(&b));
+    }
+
+    #[test]
+    fn stats_deltas_scope_out_other_tests() {
+        // Distinct scales nothing else uses → both lookups miss, then
+        // both hit, regardless of what ran before in this process.
+        let before = CacheStats::snapshot();
+        let a = market(101.25);
+        let b = market(103.75);
+        artifacts_for(&a);
+        artifacts_for(&b);
+        let mid = CacheStats::snapshot().delta_since(&before);
+        assert!(mid.misses >= 2, "two unseen fingerprints must miss");
+        artifacts_for(&a);
+        artifacts_for(&b);
+        let after = CacheStats::snapshot().delta_since(&before);
+        assert!(after.hits >= mid.hits + 2, "repeat lookups must hit");
+        // Shim agrees with the snapshot it wraps.
+        let (h, m) = cache_stats();
+        let snap = CacheStats::snapshot();
+        assert!(h <= snap.hits && m <= snap.misses);
     }
 
     #[test]

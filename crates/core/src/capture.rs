@@ -96,6 +96,13 @@ pub fn capture_curve(
     strategy: &dyn BundlingStrategy,
     max_bundles: usize,
 ) -> Result<CaptureCurve> {
+    let _span =
+        transit_obs::debug_span!("capture_curve", strategy = strategy.name(), max = max_bundles);
+    // Per-strategy evaluation volume: one bundle evaluation per point on
+    // the curve. Dynamic name (bounded by the strategy vocabulary), so
+    // the plain function — not the interning macro — is the right call.
+    transit_obs::metrics::counter(&format!("capture.evals.{}", strategy.name()))
+        .add(max_bundles as u64);
     let mut n_bundles = Vec::with_capacity(max_bundles);
     let mut capture = Vec::with_capacity(max_bundles);
     let mut profit = Vec::with_capacity(max_bundles);

@@ -62,6 +62,8 @@ pub fn fit_ced(
     alpha: CedAlpha,
     p0: f64,
 ) -> Result<CedFit> {
+    let _span = transit_obs::span!("fit_ced", flows = flows.len());
+    transit_obs::counter!("fitting.ced.runs").inc();
     validate_flows(flows)?;
     check_positive("p0", p0)?;
     let a = alpha.get();
@@ -124,6 +126,8 @@ pub fn fit_logit(
     p0: f64,
     s0: f64,
 ) -> Result<LogitFit> {
+    let _span = transit_obs::span!("fit_logit", flows = flows.len());
+    transit_obs::counter!("fitting.logit.runs").inc();
     validate_flows(flows)?;
     check_positive("p0", p0)?;
     if !(s0.is_finite() && s0 > 0.0 && s0 < 1.0) {

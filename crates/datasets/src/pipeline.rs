@@ -65,6 +65,9 @@ pub struct PipelineOutput {
 /// settings that requires < 0.2 kbps.
 pub fn run_pipeline(dataset: &Dataset, config: PipelineConfig) -> PipelineOutput {
     assert!(config.routers_on_path >= 1, "need at least one router");
+    let _span = transit_obs::span!("datasets.pipeline.run", flows = dataset.flows.len());
+    transit_obs::counter!("datasets.pipeline.runs").inc();
+    transit_obs::counter!("datasets.pipeline.flows_offered").add(dataset.flows.len() as u64);
     let mut exporters: Vec<Exporter<SystematicSampler>> = (0..config.routers_on_path)
         .map(|r| Exporter::new(r, SystematicSampler::new(config.sampling_rate)))
         .collect();
@@ -97,6 +100,7 @@ pub fn run_pipeline(dataset: &Dataset, config: PipelineConfig) -> PipelineOutput
         }
     }
     let (datagrams, _, _) = collector.stats();
+    transit_obs::counter!("datasets.pipeline.measured_datagrams").add(datagrams);
 
     // Aggregate to a traffic matrix and re-attach ground-truth distances
     // by endpoint pair (the pipeline measures demand; distance comes from
@@ -120,6 +124,7 @@ pub fn run_pipeline(dataset: &Dataset, config: PipelineConfig) -> PipelineOutput
         }
     }
 
+    transit_obs::counter!("datasets.pipeline.measured_flows").add(measured_flows.len() as u64);
     PipelineOutput {
         measured_flows,
         matrix,

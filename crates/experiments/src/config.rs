@@ -3,7 +3,10 @@
 use serde::Serialize;
 
 /// Global knobs shared by the experiment runners.
-#[derive(Debug, Clone, Copy, Serialize)]
+///
+/// Not `Copy`: the observability fields (`profile`) own heap data.
+/// Clone explicitly where a spread needs an owned base.
+#[derive(Debug, Clone, Serialize)]
 pub struct ExperimentConfig {
     /// RNG seed for dataset generation.
     pub seed: u64,
@@ -22,6 +25,13 @@ pub struct ExperimentConfig {
     /// Sweep-engine worker threads (`0` = one per available core).
     /// Results are identical for every value; see `engine`.
     pub jobs: usize,
+    /// Observability collection level (`--log-level`). Figure output is
+    /// identical at every level; this only gates span collection.
+    pub log_level: transit_obs::Level,
+    /// Directory for observability sidecars (`--profile`): the run
+    /// manifest, Prometheus metrics, and per-experiment timing files.
+    /// `None` disables sidecar emission.
+    pub profile: Option<String>,
 }
 
 impl Default for ExperimentConfig {
@@ -35,6 +45,8 @@ impl Default for ExperimentConfig {
             s0: 0.2,
             max_bundles: 6,
             jobs: 0,
+            log_level: transit_obs::Level::Info,
+            profile: None,
         }
     }
 }

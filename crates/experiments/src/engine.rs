@@ -101,6 +101,13 @@ impl SweepEngine {
         let workers = self.jobs.min(n).max(1);
         let next = AtomicUsize::new(0);
 
+        // Workers flush their spans under the path open on the spawning
+        // thread, so per-item spans aggregate under the experiment's own
+        // node in the tree rather than as detached roots.
+        let _sweep_span = transit_obs::span!("sweep.run", items = n, jobs = workers);
+        let parent_path = transit_obs::current_path();
+        let parent_path = &parent_path;
+
         // Each worker accumulates (index, result) privately; merging by
         // index afterwards restores item order regardless of which
         // worker ran what.
@@ -108,16 +115,24 @@ impl SweepEngine {
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
                     scope.spawn(|| {
+                        let _path = transit_obs::inherit_path(parent_path.clone());
                         let mut out = Vec::new();
                         loop {
                             let i = next.fetch_add(1, Ordering::Relaxed);
                             if i >= n {
                                 break;
                             }
+                            let item_span = transit_obs::span!("sweep.item");
                             let start = Instant::now();
                             let r = f(i, &items[i]);
-                            out.push((i, (r, start.elapsed())));
+                            let elapsed = start.elapsed();
+                            drop(item_span);
+                            transit_obs::histogram!("sweep.item_micros")
+                                .record(elapsed.as_micros().min(u128::from(u64::MAX)) as u64);
+                            transit_obs::counter!("sweep.items.completed").inc();
+                            out.push((i, (r, elapsed)));
                         }
+                        transit_obs::counter!("sweep.queue.drains").inc();
                         out
                     })
                 })

@@ -19,6 +19,7 @@ pub mod config;
 pub mod engine;
 pub mod markets;
 pub mod output;
+pub mod profile;
 pub mod runners;
 
 pub use config::ExperimentConfig;

@@ -7,6 +7,7 @@ use transit_experiments::{run, ExperimentConfig, ALL_IDS, EXTENSION_IDS, SENSITI
 fn usage() -> String {
     format!(
         "usage: transit-experiments <experiment|all|full|ext> [--json] [--chart] [--quick] [--flows N] [--seed S] [--jobs N] [--out DIR]\n\
+         \x20                          [--only ID] [--profile DIR] [--log-level quiet|info|debug]\n\
          experiments: {} {} {}",
         ALL_IDS.join(" "),
         SENSITIVITY_IDS.join(" "),
@@ -59,6 +60,32 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            // --only ID is an explicit spelling of the positional target.
+            "--only" => match it.next() {
+                Some(id) if target.is_none() => target = Some(id.clone()),
+                Some(id) => {
+                    eprintln!("--only {id:?} conflicts with target {:?}\n{}", target.unwrap(), usage());
+                    return ExitCode::FAILURE;
+                }
+                None => {
+                    eprintln!("--only needs an experiment id\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--profile" => match it.next() {
+                Some(dir) => config.profile = Some(dir.clone()),
+                None => {
+                    eprintln!("--profile needs a directory\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--log-level" => match it.next().map(|v| v.parse()) {
+                Some(Ok(level)) => config.log_level = level,
+                _ => {
+                    eprintln!("--log-level needs quiet, info, or debug\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
             other if target.is_none() => target = Some(other.to_string()),
             other => {
                 eprintln!("unexpected argument {other:?}\n{}", usage());
@@ -70,6 +97,7 @@ fn main() -> ExitCode {
         eprintln!("{}", usage());
         return ExitCode::FAILURE;
     };
+    transit_obs::set_log_level(config.log_level);
 
     let ids: Vec<&str> = match target.as_str() {
         "all" => ALL_IDS.to_vec(),
@@ -83,9 +111,13 @@ fn main() -> ExitCode {
         id => vec![id],
     };
 
+    let mut profiled_runs: Vec<(String, Vec<transit_experiments::ItemTiming>)> = Vec::new();
     for id in ids {
         match run(id, &config) {
             Ok(Some(result)) => {
+                if config.profile.is_some() {
+                    profiled_runs.push((id.to_string(), result.timings.clone()));
+                }
                 if let Some(dir) = &out_dir {
                     if let Err(e) = std::fs::create_dir_all(dir).and_then(|()| {
                         std::fs::write(dir.join(format!("{id}.json")), result.to_json())?;
@@ -112,6 +144,16 @@ fn main() -> ExitCode {
             }
             Err(e) => {
                 eprintln!("experiment {id} failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if let Some(profile_dir) = &config.profile {
+        let dir = std::path::Path::new(profile_dir);
+        match transit_experiments::profile::write_profile(dir, &config, &profiled_runs) {
+            Ok(path) => println!("wrote profile sidecars to {}", path.parent().unwrap().display()),
+            Err(e) => {
+                eprintln!("failed to write profile sidecars: {e}");
                 return ExitCode::FAILURE;
             }
         }

@@ -15,6 +15,8 @@ use crate::config::ExperimentConfig;
 
 /// Builds the flows for a network under a config.
 pub fn flows_for(network: Network, config: &ExperimentConfig) -> Vec<TrafficFlow> {
+    let _span = transit_obs::debug_span!("generate_flows", network = network.label());
+    transit_obs::counter!("datasets.generated").inc();
     generate(network, config.n_flows, config.seed).flows
 }
 

@@ -1,0 +1,104 @@
+//! Observability sidecar emission (`--profile <dir>`).
+//!
+//! When profiling is enabled the harness writes, *next to* — never into —
+//! the figure outputs:
+//!
+//! * `run_manifest.json` — the [`transit_obs::RunManifest`]: config, seed,
+//!   git revision, span tree, metric snapshots, per-item timings.
+//! * `metrics.prom` — the same metric snapshot in Prometheus text format.
+//! * `<id>.timings.json` — per-experiment item timings, one file per
+//!   experiment that reported any.
+//!
+//! Everything here reads state the run already produced; nothing feeds
+//! back into figure JSON, so profiled and unprofiled runs emit
+//! byte-identical figures (asserted by `tests/obs_regression.rs`).
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+use crate::config::ExperimentConfig;
+use crate::engine::ItemTiming;
+
+/// Renders one experiment's item timings as a JSON array of
+/// `{"label": …, "seconds": …}` objects.
+fn timings_json(timings: &[ItemTiming]) -> String {
+    let items: Vec<serde::Content> = timings
+        .iter()
+        .map(|t| {
+            serde::Content::Map(vec![
+                ("label".into(), serde::Content::Str(t.label.clone())),
+                ("seconds".into(), serde::Content::F64(t.seconds)),
+            ])
+        })
+        .collect();
+    serde_json::to_string_pretty(&serde::Content::Seq(items))
+        .expect("timing content is serializable")
+}
+
+/// Writes all observability sidecars for one harness invocation into
+/// `dir`: the run manifest, Prometheus metrics, and one
+/// `<id>.timings.json` per experiment with timings. Returns the manifest
+/// path.
+pub fn write_profile(
+    dir: &Path,
+    config: &ExperimentConfig,
+    runs: &[(String, Vec<ItemTiming>)],
+) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let mut manifest_timings: BTreeMap<String, transit_obs::RunTimings> = BTreeMap::new();
+    for (id, timings) in runs {
+        if !timings.is_empty() {
+            std::fs::write(dir.join(format!("{id}.timings.json")), timings_json(timings))?;
+        }
+        manifest_timings.insert(
+            id.clone(),
+            timings
+                .iter()
+                .map(|t| (t.label.clone(), t.seconds))
+                .collect(),
+        );
+    }
+    let manifest = transit_obs::RunManifest::capture(
+        serde::Serialize::to_content(config),
+        config.seed,
+        crate::engine::SweepEngine::from_config(config).jobs(),
+        runs.iter().map(|(id, _)| id.clone()).collect(),
+        manifest_timings,
+    );
+    manifest.write_to(dir)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_profile_emits_manifest_and_timing_sidecars() {
+        let dir = std::env::temp_dir().join(format!("transit_profile_{}", std::process::id()));
+        let config = ExperimentConfig::quick();
+        let runs = vec![
+            (
+                "figX".to_string(),
+                vec![ItemTiming {
+                    label: "figXa/Optimal".into(),
+                    seconds: 0.25,
+                }],
+            ),
+            ("figY".to_string(), Vec::new()),
+        ];
+        let manifest_path = write_profile(&dir, &config, &runs).unwrap();
+        assert!(manifest_path.exists());
+        assert!(dir.join("metrics.prom").exists());
+        assert!(dir.join("figX.timings.json").exists());
+        assert!(
+            !dir.join("figY.timings.json").exists(),
+            "experiments without timings get no sidecar"
+        );
+        let manifest: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(&manifest_path).unwrap()).unwrap();
+        assert_eq!(manifest["schema"], "transit-obs/v1");
+        assert_eq!(manifest["experiments"][0], "figX");
+        assert_eq!(manifest["timings"]["figX"][0]["label"], "figXa/Optimal");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

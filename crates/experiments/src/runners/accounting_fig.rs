@@ -33,15 +33,18 @@ const TIERS: usize = 3;
 pub fn fig17(config: &ExperimentConfig) -> Result<ExperimentResult> {
     // Small, CPU-cheap instance: the point is mechanism, not scale.
     let n_flows = config.n_flows.min(60);
+    let market_span = transit_obs::span!("fig17.fit_and_bundle");
     let ds = generate(Network::Internet2, n_flows, config.seed);
     let cost = LinearCost::new(config.theta)?;
     let market = fit_market(DemandFamily::Ced, &ds.flows, &cost, config)?;
     let strategy = StrategyKind::ProfitWeighted.build();
     let bundling = strategy.bundle(market.as_ref(), TIERS)?;
     let tier_prices = market.bundle_prices(&bundling)?;
+    drop(market_span);
 
     // §5.1: tag each destination /16 with its tier via extended
     // communities and install into the customer-facing RIB.
+    let rib_span = transit_obs::span!("fig17.tag_rib");
     let mut rib = Rib::new();
     for (flow_idx, &(_, dst)) in ds.endpoints.iter().enumerate() {
         let tier = TierTag(bundling.assignment()[flow_idx] as u8);
@@ -51,8 +54,10 @@ pub fn fig17(config: &ExperimentConfig) -> Result<ExperimentResult> {
                 .with_tier(64_500, tier),
         );
     }
+    drop(rib_span);
 
     // Drive identical constant-rate traffic through both accountings.
+    let _acct_span = transit_obs::span!("fig17.accounting");
     let window_secs = 300.0 * 4.0; // four 5-minute SNMP polls
     let polls = 4;
     let mut link_acct = LinkAccounting::new(TIERS, window_secs / polls as f64);

@@ -31,10 +31,13 @@ fn capture_result(
 
     // Fitting is cheap next to the capture sweeps; do it up front so
     // every work item shares one immutable market per panel.
-    let markets: Vec<Box<dyn TransitMarket>> = panels
-        .iter()
-        .map(|&(_, network)| fit_market(family, &flows_for(network, config), &cost, config))
-        .collect::<Result<_>>()?;
+    let markets: Vec<Box<dyn TransitMarket>> = {
+        let _span = transit_obs::span!("fit_markets", panels = panels.len());
+        panels
+            .iter()
+            .map(|&(_, network)| fit_market(family, &flows_for(network, config), &cost, config))
+            .collect::<Result<_>>()?
+    };
 
     let items: Vec<(usize, StrategyKind)> = (0..panels.len())
         .flat_map(|pi| strategies.iter().map(move |&kind| (pi, kind)))

@@ -29,6 +29,8 @@ pub const EXTENSION_IDS: [&str; 5] = ["ext1", "ext2", "ext3", "ext4", "summary"]
 
 /// Runs one experiment by id.
 pub fn run(id: &str, config: &ExperimentConfig) -> Result<Option<ExperimentResult>> {
+    let _span = transit_obs::span!("experiment", id = id);
+    transit_obs::counter!("experiments.runs").inc();
     Ok(Some(match id {
         "fig1" => illustrations::fig1()?,
         "fig2" => illustrations::fig2()?,

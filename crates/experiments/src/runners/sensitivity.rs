@@ -133,7 +133,7 @@ pub fn fig14(config: &ExperimentConfig) -> Result<ExperimentResult> {
                 format!("alpha={alpha}"),
                 ExperimentConfig {
                     alpha,
-                    ..*config
+                    ..config.clone()
                 },
             )
         })
@@ -156,7 +156,7 @@ pub fn fig15(config: &ExperimentConfig) -> Result<ExperimentResult> {
                 format!("P0={p0}"),
                 ExperimentConfig {
                     p0,
-                    ..*config
+                    ..config.clone()
                 },
             )
         })
@@ -181,7 +181,7 @@ pub fn fig16(config: &ExperimentConfig) -> Result<ExperimentResult> {
                 format!("s0={s0}"),
                 ExperimentConfig {
                     s0,
-                    ..*config
+                    ..config.clone()
                 },
             )
         })

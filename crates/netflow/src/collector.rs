@@ -51,6 +51,7 @@ impl Collector {
             Ok(p) => p,
             Err(e) => {
                 self.decode_errors += 1;
+                transit_obs::counter!("netflow.collector.decode_errors").inc();
                 return Err(e);
             }
         };
@@ -71,6 +72,7 @@ impl Collector {
                 // loss (a restarted exporter resets its sequence).
                 if gap > 0 && gap < u32::MAX / 2 {
                     *self.lost.entry(router).or_default() += gap as u64;
+                    transit_obs::counter!("netflow.collector.lost_records").add(gap as u64);
                 }
             }
             None => {
@@ -93,6 +95,10 @@ impl Collector {
         }
         self.datagrams += 1;
         self.records += packet.records.len() as u64;
+        // Registry mirrors of the per-collector tallies: process-wide
+        // ingest volume for the run manifest.
+        transit_obs::counter!("netflow.collector.datagrams").inc();
+        transit_obs::counter!("netflow.collector.records").add(packet.records.len() as u64);
         packet.records.len()
     }
 

@@ -1,0 +1,92 @@
+//! The process-wide verbosity switch gating span collection.
+//!
+//! Metrics counters stay live at every level (they are the backing store
+//! for shims like `core::cache::cache_stats()` and cost one relaxed
+//! atomic add); only *span* collection is gated, because spans are the
+//! part with per-call allocation. `quiet` short-circuits span creation
+//! before any label formatting runs, which is what keeps observability
+//! overhead within the ≤5% budget (see DESIGN.md §10).
+
+use std::fmt;
+use std::str::FromStr;
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Observability verbosity. Ordering is by detail: `Quiet < Info < Debug`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// No spans are recorded. Counters/histograms still count.
+    Quiet = 0,
+    /// Phase- and item-granularity spans (the default).
+    Info = 1,
+    /// Additionally records hot-path spans (per DP build, per capture
+    /// curve). Expect measurable overhead on large sweeps.
+    Debug = 2,
+}
+
+static LEVEL: AtomicU8 = AtomicU8::new(Level::Info as u8);
+
+/// Sets the process-wide log level.
+pub fn set_log_level(level: Level) {
+    LEVEL.store(level as u8, Ordering::Relaxed);
+}
+
+/// The current process-wide log level.
+pub fn log_level() -> Level {
+    match LEVEL.load(Ordering::Relaxed) {
+        0 => Level::Quiet,
+        1 => Level::Info,
+        _ => Level::Debug,
+    }
+}
+
+/// Whether spans at `level` are currently recorded.
+pub fn level_enabled(level: Level) -> bool {
+    level as u8 <= LEVEL.load(Ordering::Relaxed) && level != Level::Quiet
+}
+
+impl fmt::Display for Level {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Level::Quiet => "quiet",
+            Level::Info => "info",
+            Level::Debug => "debug",
+        })
+    }
+}
+
+impl FromStr for Level {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Level, String> {
+        match s {
+            "quiet" => Ok(Level::Quiet),
+            "info" => Ok(Level::Info),
+            "debug" => Ok(Level::Debug),
+            other => Err(format!("unknown log level {other:?} (quiet|info|debug)")),
+        }
+    }
+}
+
+impl serde::Serialize for Level {
+    fn to_content(&self) -> serde::Content {
+        serde::Content::Str(self.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_parse_and_roundtrip() {
+        for level in [Level::Quiet, Level::Info, Level::Debug] {
+            assert_eq!(level.to_string().parse::<Level>().unwrap(), level);
+        }
+        assert!("verbose".parse::<Level>().is_err());
+    }
+
+    #[test]
+    fn quiet_is_never_enabled() {
+        assert!(!level_enabled(Level::Quiet));
+    }
+}

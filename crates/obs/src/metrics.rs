@@ -1,0 +1,506 @@
+//! Metrics registry: named counters and log-linear-bucket histograms.
+//!
+//! Handles returned by [`counter`]/[`histogram`] are `&'static` — the
+//! registry interns each name once (a `Box::leak` per distinct metric;
+//! metric names are a small fixed vocabulary, so this is a bounded,
+//! process-lifetime allocation). The `counter!`/`histogram!` macros cache
+//! the handle in a per-call-site `OnceLock`, so steady-state updates are
+//! a single relaxed atomic op with no lock and no lookup.
+//!
+//! [`reset`] zeroes values but keeps the interned handles valid, which is
+//! what lets call sites hold `&'static` references across resets and
+//! lets tests scope their assertions with [`snapshot`] deltas.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// A monotonically increasing counter.
+#[derive(Debug)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    const fn new() -> Counter {
+        Counter {
+            value: AtomicU64::new(0),
+        }
+    }
+
+    /// Adds 1.
+    pub fn inc(&self) {
+        self.value.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Zeroes the counter. Meant for explicit scoping (e.g. a cache
+    /// registry's `reset()`); concurrent `inc`s racing a reset land on
+    /// whichever side the atomics order them.
+    pub fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Bucket count: 8 linear buckets for values 0–7, then 8 sub-buckets per
+/// octave across the remaining 61 octaves of `u64`.
+pub const N_BUCKETS: usize = 8 + 61 * 8;
+
+/// Bucket index for `v`: exact below 8, then log-linear with 8
+/// sub-buckets per power of two (relative bucket width ≤ 1/8).
+pub fn bucket_index(v: u64) -> usize {
+    if v < 8 {
+        v as usize
+    } else {
+        let msb = 63 - v.leading_zeros() as usize;
+        let octave = msb - 3;
+        let sub = ((v >> octave) & 7) as usize;
+        8 + octave * 8 + sub
+    }
+}
+
+/// Smallest value landing in bucket `index`.
+pub fn bucket_lower(index: usize) -> u64 {
+    if index < 8 {
+        index as u64
+    } else {
+        let octave = (index - 8) / 8;
+        let sub = ((index - 8) % 8) as u64;
+        (8 + sub) << octave
+    }
+}
+
+/// Largest value landing in bucket `index`.
+pub fn bucket_upper(index: usize) -> u64 {
+    if index < 8 {
+        index as u64
+    } else {
+        let octave = (index - 8) / 8;
+        // `lower - 1` first: the top bucket's `lower + width` is 2^64.
+        (bucket_lower(index) - 1) + (1u64 << octave)
+    }
+}
+
+/// A histogram over `u64` samples with log-linear buckets.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Histogram {
+    fn new() -> Histogram {
+        Histogram {
+            buckets: (0..N_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.min.store(u64::MAX, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> HistogramSnapshot {
+        let count = self.count.load(Ordering::Relaxed);
+        HistogramSnapshot {
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            min: if count == 0 {
+                0
+            } else {
+                self.min.load(Ordering::Relaxed)
+            },
+            max: self.max.load(Ordering::Relaxed),
+            buckets: self
+                .buckets
+                .iter()
+                .enumerate()
+                .filter_map(|(i, b)| {
+                    let n = b.load(Ordering::Relaxed);
+                    (n > 0).then_some((bucket_lower(i), n))
+                })
+                .collect(),
+        }
+    }
+}
+
+/// A point-in-time copy of one histogram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of samples (wraps only past `u64::MAX` total).
+    pub sum: u64,
+    /// Smallest sample (0 when empty).
+    pub min: u64,
+    /// Largest sample.
+    pub max: u64,
+    /// Non-empty buckets as `(lower_bound, count)`, ascending.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Mean sample value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Approximate quantile `q ∈ [0, 1]`: the lower bound of the bucket
+    /// where the cumulative count crosses `q·count` (≤ 12.5% relative
+    /// error from bucket width).
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for &(lower, n) in &self.buckets {
+            seen += n;
+            if seen >= rank {
+                return lower;
+            }
+        }
+        self.max
+    }
+}
+
+impl serde::Serialize for HistogramSnapshot {
+    fn to_content(&self) -> serde::Content {
+        serde::Content::Map(vec![
+            ("count".into(), serde::Content::U64(self.count)),
+            ("sum".into(), serde::Content::U64(self.sum)),
+            ("min".into(), serde::Content::U64(self.min)),
+            ("max".into(), serde::Content::U64(self.max)),
+            ("mean".into(), serde::Content::F64(self.mean())),
+            ("p50".into(), serde::Content::U64(self.quantile(0.5))),
+            ("p95".into(), serde::Content::U64(self.quantile(0.95))),
+            (
+                "buckets".into(),
+                serde::Content::Seq(
+                    self.buckets
+                        .iter()
+                        .map(|&(lower, n)| {
+                            serde::Content::Seq(vec![
+                                serde::Content::U64(lower),
+                                serde::Content::U64(n),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+struct Registry {
+    counters: Mutex<BTreeMap<String, &'static Counter>>,
+    histograms: Mutex<BTreeMap<String, &'static Histogram>>,
+}
+
+fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(|| Registry {
+        counters: Mutex::new(BTreeMap::new()),
+        histograms: Mutex::new(BTreeMap::new()),
+    })
+}
+
+/// The counter registered under `name`, interning it on first use.
+/// Prefer the `counter!` macro, which caches this lookup per call site;
+/// call this directly only for dynamic names (e.g. per-strategy).
+pub fn counter(name: &str) -> &'static Counter {
+    let mut map = registry().counters.lock().expect("metrics registry poisoned");
+    if let Some(c) = map.get(name) {
+        return c;
+    }
+    let c: &'static Counter = Box::leak(Box::new(Counter::new()));
+    map.insert(name.to_string(), c);
+    c
+}
+
+/// The histogram registered under `name`, interning it on first use.
+pub fn histogram(name: &str) -> &'static Histogram {
+    let mut map = registry()
+        .histograms
+        .lock()
+        .expect("metrics registry poisoned");
+    if let Some(h) = map.get(name) {
+        return h;
+    }
+    let h: &'static Histogram = Box::leak(Box::new(Histogram::new()));
+    map.insert(name.to_string(), h);
+    h
+}
+
+/// A point-in-time copy of every registered metric.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Histogram snapshots by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// The counter's value in this snapshot (0 if never registered).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// How much `name` grew since `earlier` was taken. Saturates at 0 if
+    /// a [`reset`] happened in between.
+    pub fn counter_delta(&self, earlier: &MetricsSnapshot, name: &str) -> u64 {
+        self.counter(name).saturating_sub(earlier.counter(name))
+    }
+
+    /// Renders every metric in Prometheus text exposition format.
+    /// Metric names are sanitized (`[^a-zA-Z0-9_:]` → `_`).
+    pub fn to_prometheus(&self) -> String {
+        fn sanitize(name: &str) -> String {
+            name.chars()
+                .map(|c| {
+                    if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                        c
+                    } else {
+                        '_'
+                    }
+                })
+                .collect()
+        }
+        let mut out = String::new();
+        for (name, value) in &self.counters {
+            let name = sanitize(name);
+            out.push_str(&format!("# TYPE {name} counter\n{name} {value}\n"));
+        }
+        for (name, h) in &self.histograms {
+            let name = sanitize(name);
+            out.push_str(&format!("# TYPE {name} histogram\n"));
+            let mut cumulative = 0u64;
+            for &(lower, n) in &h.buckets {
+                cumulative += n;
+                let le = bucket_upper(bucket_index(lower));
+                out.push_str(&format!("{name}_bucket{{le=\"{le}\"}} {cumulative}\n"));
+            }
+            out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {}\n", h.count));
+            out.push_str(&format!("{name}_sum {}\n", h.sum));
+            out.push_str(&format!("{name}_count {}\n", h.count));
+        }
+        out
+    }
+}
+
+impl serde::Serialize for MetricsSnapshot {
+    fn to_content(&self) -> serde::Content {
+        serde::Content::Map(vec![
+            (
+                "counters".into(),
+                serde::Content::Map(
+                    self.counters
+                        .iter()
+                        .map(|(name, &v)| (name.clone(), serde::Content::U64(v)))
+                        .collect(),
+                ),
+            ),
+            (
+                "histograms".into(),
+                serde::Content::Map(
+                    self.histograms
+                        .iter()
+                        .map(|(name, h)| (name.clone(), serde::Serialize::to_content(h)))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// Snapshots every registered metric.
+pub fn snapshot() -> MetricsSnapshot {
+    let reg = registry();
+    let counters = reg
+        .counters
+        .lock()
+        .expect("metrics registry poisoned")
+        .iter()
+        .map(|(name, c)| (name.clone(), c.get()))
+        .collect();
+    let histograms = reg
+        .histograms
+        .lock()
+        .expect("metrics registry poisoned")
+        .iter()
+        .map(|(name, h)| (name.clone(), h.snapshot()))
+        .collect();
+    MetricsSnapshot {
+        counters,
+        histograms,
+    }
+}
+
+/// Zeroes every registered metric. Interned handles (and cached macro
+/// call sites) remain valid.
+pub fn reset() {
+    let reg = registry();
+    for c in reg
+        .counters
+        .lock()
+        .expect("metrics registry poisoned")
+        .values()
+    {
+        c.reset();
+    }
+    for h in reg
+        .histograms
+        .lock()
+        .expect("metrics registry poisoned")
+        .values()
+    {
+        h.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Metric names are globally shared; each test uses unique names and
+    // asserts on snapshot deltas so parallel test scheduling (and a
+    // concurrent `reset` from another test) cannot break them.
+
+    #[test]
+    fn counters_intern_once_and_accumulate() {
+        let a = counter("metrics_test.intern");
+        let b = counter("metrics_test.intern");
+        assert!(std::ptr::eq(a, b), "same handle for same name");
+        let before = a.get();
+        a.inc();
+        a.add(4);
+        assert_eq!(a.get() - before, 5);
+    }
+
+    #[test]
+    fn snapshot_reflects_registered_values() {
+        counter("metrics_test.snap").add(7);
+        histogram("metrics_test.hist").record(100);
+        let snap = snapshot();
+        assert!(snap.counter("metrics_test.snap") >= 7);
+        assert!(snap.histograms["metrics_test.hist"].count >= 1);
+        assert_eq!(snap.counter("metrics_test.never_registered"), 0);
+    }
+
+    #[test]
+    fn histogram_stats_cover_samples() {
+        let h = histogram("metrics_test.stats");
+        for v in [1u64, 10, 100, 1000] {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 4);
+        assert_eq!(snap.sum, 1111);
+        assert_eq!(snap.min, 1);
+        assert_eq!(snap.max, 1000);
+        assert!((snap.mean() - 277.75).abs() < 1e-9);
+        // Quantiles return bucket lower bounds: within one bucket width.
+        let p50 = snap.quantile(0.5);
+        assert!(p50 <= 10 && bucket_upper(bucket_index(p50)) >= 10);
+    }
+
+    #[test]
+    fn empty_histogram_is_well_defined() {
+        let snap = histogram("metrics_test.empty").snapshot();
+        assert_eq!(snap.count, 0);
+        assert_eq!(snap.min, 0);
+        assert_eq!(snap.quantile(0.99), 0);
+        assert_eq!(snap.mean(), 0.0);
+    }
+
+    #[test]
+    fn bucket_index_matches_documented_boundaries() {
+        // Exact below 8.
+        for v in 0..8u64 {
+            assert_eq!(bucket_index(v), v as usize);
+            assert_eq!(bucket_lower(v as usize), v);
+            assert_eq!(bucket_upper(v as usize), v);
+        }
+        // First octave: one value per bucket.
+        assert_eq!(bucket_index(8), 8);
+        assert_eq!(bucket_index(15), 15);
+        // Second octave: width 2.
+        assert_eq!(bucket_index(16), 16);
+        assert_eq!(bucket_index(17), 16);
+        assert_eq!(bucket_index(18), 17);
+        // Top of the range stays in bounds.
+        assert_eq!(bucket_index(u64::MAX), N_BUCKETS - 1);
+        assert_eq!(bucket_upper(N_BUCKETS - 1), u64::MAX);
+    }
+
+    #[test]
+    fn prometheus_rendering_is_parseable_shape() {
+        counter("metrics_test.prom").add(3);
+        histogram("metrics_test.prom_hist").record(42);
+        let text = snapshot().to_prometheus();
+        assert!(text.contains("# TYPE metrics_test_prom counter"));
+        assert!(text.contains("metrics_test_prom_hist_bucket{le=\"+Inf\"}"));
+        assert!(text.contains("metrics_test_prom_hist_count"));
+        // Sanitized names only.
+        for line in text.lines() {
+            if let Some(name) = line.split_whitespace().next() {
+                if !line.starts_with('#') {
+                    assert!(
+                        name.chars()
+                            .all(|c| c.is_ascii_alphanumeric()
+                                || ['_', ':', '{', '}', '=', '"', '+', '.'].contains(&c)),
+                        "unsanitized line: {line}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn counter_delta_scopes_assertions() {
+        let before = snapshot();
+        counter("metrics_test.delta").add(9);
+        let after = snapshot();
+        assert!(after.counter_delta(&before, "metrics_test.delta") >= 9);
+    }
+}

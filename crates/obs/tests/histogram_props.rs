@@ -1,0 +1,59 @@
+//! Property tests for the log-linear histogram bucketing (vendored
+//! `proptest`): every value lands in a bucket whose bounds contain it,
+//! indexing is monotone, and relative bucket width is bounded.
+
+use proptest::prelude::*;
+use transit_obs::metrics::{bucket_index, bucket_lower, bucket_upper, N_BUCKETS};
+
+proptest! {
+    #[test]
+    fn bucket_bounds_contain_the_value(v in 0u64..u64::MAX) {
+        let i = bucket_index(v);
+        prop_assert!(i < N_BUCKETS);
+        prop_assert!(bucket_lower(i) <= v, "lower({i}) > {v}");
+        prop_assert!(v <= bucket_upper(i), "upper({i}) < {v}");
+    }
+
+    #[test]
+    fn bucket_index_is_monotone(a in 0u64..u64::MAX, b in 0u64..u64::MAX) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(bucket_index(lo) <= bucket_index(hi));
+    }
+
+    #[test]
+    fn relative_bucket_width_is_at_most_one_eighth(v in 8u64..u64::MAX) {
+        // For v >= 8 the bucket width is 2^octave and the lower bound is
+        // (8+sub)·2^octave, so width/lower = 1/(8+sub) <= 1/8.
+        let i = bucket_index(v);
+        let width = bucket_upper(i) - bucket_lower(i) + 1;
+        prop_assert!(width * 8 <= bucket_lower(i),
+            "bucket {i}: width {width} vs lower {}", bucket_lower(i));
+    }
+
+    #[test]
+    fn buckets_partition_contiguously(i in 0usize..N_BUCKETS - 1) {
+        // Adjacent buckets tile the range with no gaps or overlaps.
+        prop_assert_eq!(bucket_upper(i) + 1, bucket_lower(i + 1));
+    }
+
+    #[test]
+    fn quantile_zero_and_one_bracket_samples(
+        samples in prop::collection::vec(0u64..1_000_000, 1..50),
+        name_salt in 0u64..u64::MAX,
+    ) {
+        // Fresh histogram per case (dynamic name) so cases don't interact.
+        let h = transit_obs::metrics::histogram(&format!("prop.hist.{name_salt}"));
+        for &s in &samples {
+            h.record(s);
+        }
+        let snap = transit_obs::snapshot_metrics();
+        let snap = &snap.histograms[&format!("prop.hist.{name_salt}")];
+        let lo = *samples.iter().min().unwrap();
+        let hi = *samples.iter().max().unwrap();
+        prop_assert!(snap.quantile(0.0) <= lo);
+        prop_assert!(snap.quantile(1.0) <= hi);
+        prop_assert!(bucket_upper(bucket_index(snap.quantile(1.0))) >= hi);
+        prop_assert_eq!(snap.min, lo);
+        prop_assert_eq!(snap.max, hi);
+    }
+}

@@ -10,4 +10,7 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== tests (workspace) =="
 cargo test --workspace -q
 
+echo "== bench smoke (sweep items/sec -> BENCH_sweep.json) =="
+cargo run --release -q -p transit-bench --bin sweep_smoke -- BENCH_sweep.json
+
 echo "OK"

@@ -12,6 +12,7 @@
 //! * [`datasets`] — Table-1-calibrated synthetic datasets.
 //! * [`market`] — welfare, worked examples, direct-peering economics.
 //! * [`experiments`] — per-figure/table experiment runners.
+//! * [`obs`] — structured spans, metrics registry, run manifests.
 
 #![forbid(unsafe_code)]
 
@@ -21,5 +22,6 @@ pub use transit_experiments as experiments;
 pub use transit_geo as geo;
 pub use transit_market as market;
 pub use transit_netflow as netflow;
+pub use transit_obs as obs;
 pub use transit_routing as routing;
 pub use transit_topology as topology;

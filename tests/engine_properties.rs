@@ -3,6 +3,7 @@
 use proptest::prelude::*;
 
 use tiered_transit::core::bundling::OptimalDp;
+use tiered_transit::core::cache::{artifacts_for, CacheStats};
 use tiered_transit::core::capture::capture_curve;
 use tiered_transit::core::cost::LinearCost;
 use tiered_transit::core::demand::ced::CedAlpha;
@@ -55,6 +56,36 @@ proptest! {
         prop_assert_eq!(&cached.a, &fresh.a);
         prop_assert_eq!(&cached.b, &fresh.b);
         prop_assert_eq!(logit.potential_profits(), &logit.potential_profits_uncached()[..]);
+    }
+
+    /// Fingerprint-cache accounting holds under snapshot-delta scoping:
+    /// re-requesting a market's artifacts hits, and the lifetime
+    /// counters never depend on what other tests ran first (the old
+    /// assertion style read the raw globals, which made `cargo test -q`
+    /// order-dependent).
+    #[test]
+    fn cache_stats_deltas_are_order_independent(
+        flows in arb_flows(),
+        alpha in 1.05f64..5.0,
+    ) {
+        let cost = LinearCost::new(0.2).unwrap();
+        let ced = CedMarket::new(
+            fit_ced(&flows, &cost, CedAlpha::new(alpha).unwrap(), 20.0).unwrap(),
+        ).unwrap();
+        let before = CacheStats::snapshot();
+        let first = artifacts_for(&ced);
+        let after_first = CacheStats::snapshot().delta_since(&before);
+        // First sight may hit (an identical market from an earlier case)
+        // or miss, but it must be counted exactly once somewhere.
+        prop_assert!(after_first.hits + after_first.misses >= 1);
+        let second = artifacts_for(&ced);
+        prop_assert!(std::sync::Arc::ptr_eq(&first, &second));
+        let after_second = CacheStats::snapshot().delta_since(&before);
+        prop_assert!(
+            after_second.hits > after_first.hits,
+            "second lookup of the same fingerprint must hit: {:?} -> {:?}",
+            after_first, after_second
+        );
     }
 
     /// Engine output order is invariant to the worker-thread count: any

@@ -1,0 +1,151 @@
+//! Observability is a *sidecar*: enabling it must not change figure
+//! output by a single byte, and a profiled run must actually produce a
+//! usable manifest.
+//!
+//! The tests here mutate the process-wide log level, so they serialize
+//! on one mutex instead of relying on test threading.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+use serde_json::Value;
+use tiered_transit::experiments::{profile, runners, ExperimentConfig, ItemTiming};
+use tiered_transit::obs;
+
+static LEVEL_LOCK: Mutex<()> = Mutex::new(());
+
+fn fig8_config(log_level: obs::Level) -> ExperimentConfig {
+    ExperimentConfig {
+        seed: 42,
+        n_flows: 120,
+        jobs: 2,
+        log_level,
+        ..ExperimentConfig::default()
+    }
+}
+
+fn run_fig8(level: obs::Level) -> (String, Vec<ItemTiming>) {
+    obs::set_log_level(level);
+    let result = runners::run("fig8", &fig8_config(level))
+        .expect("fig8 runs")
+        .expect("fig8 known");
+    (result.to_json(), result.timings)
+}
+
+/// The acceptance gate: fig8 JSON with spans collected (the profiled
+/// path) is byte-identical to fig8 JSON with observability quiet.
+#[test]
+fn profiled_and_quiet_runs_emit_identical_figure_json() {
+    let _guard = LEVEL_LOCK.lock().unwrap();
+    let (with_spans, _) = run_fig8(obs::Level::Info);
+    let (quiet, _) = run_fig8(obs::Level::Quiet);
+    obs::set_log_level(obs::Level::Info);
+    assert_eq!(
+        with_spans, quiet,
+        "observability must never leak into figure output"
+    );
+}
+
+/// A profiled fig8 run produces a manifest with a non-empty span tree,
+/// live cache counters, and per-item timings.
+#[test]
+fn profiled_fig8_manifest_has_spans_counters_and_timings() {
+    let _guard = LEVEL_LOCK.lock().unwrap();
+    let (_, timings) = run_fig8(obs::Level::Info);
+    obs::set_log_level(obs::Level::Info);
+    assert!(!timings.is_empty(), "fig8 must report item timings");
+
+    let dir = std::env::temp_dir().join(format!("transit_obs_reg_{}", std::process::id()));
+    let config = fig8_config(obs::Level::Info);
+    let runs = vec![("fig8".to_string(), timings)];
+    let manifest_path = profile::write_profile(&dir, &config, &runs).unwrap();
+
+    let manifest: Value =
+        serde_json::from_str(&std::fs::read_to_string(&manifest_path).unwrap()).unwrap();
+    assert_eq!(manifest["schema"], "transit-obs/v1");
+
+    // Span tree: the experiment root exists and contains the sweep with
+    // per-item children.
+    let spans = manifest["spans"].as_object().expect("spans object");
+    assert!(!spans.is_empty(), "span tree must be non-empty");
+    let experiment = &manifest["spans"]["experiment(id=fig8)"];
+    assert!(
+        experiment.get("count").is_some(),
+        "experiment(id=fig8) span missing: {:?}",
+        spans.iter().map(|(k, _)| k).collect::<Vec<_>>()
+    );
+    let sweep = &experiment["children"]["sweep.run(items=18, jobs=2)"];
+    assert!(
+        sweep.get("count").is_some(),
+        "sweep.run span missing under experiment"
+    );
+    let items = &sweep["children"]["sweep.item"];
+    assert!(
+        items["count"].as_f64().unwrap_or(0.0) >= 18.0,
+        "per-item spans missing: {items:?}"
+    );
+
+    // Cache hit/miss counters were exercised by the DP sweeps.
+    let counters = &manifest["metrics"]["counters"];
+    let hits = counters["cache.fingerprint.hits"].as_f64().unwrap_or(-1.0);
+    let misses = counters["cache.fingerprint.misses"].as_f64().unwrap_or(-1.0);
+    assert!(hits > 0.0, "cache hits counter: {hits}");
+    assert!(misses > 0.0, "cache misses counter: {misses}");
+
+    // Per-item timings made it into the manifest and the sidecar.
+    assert_eq!(manifest["timings"]["fig8"][0]["label"], "fig8a/Optimal");
+    assert!(dir.join("fig8.timings.json").exists());
+    let sidecar: Value =
+        serde_json::from_str(&std::fs::read_to_string(dir.join("fig8.timings.json")).unwrap())
+            .unwrap();
+    assert_eq!(sidecar.as_array().unwrap().len(), 18);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The quiet level really does suppress span collection (the overhead
+/// budget depends on it), while counters stay live for `cache_stats()`.
+#[test]
+fn quiet_level_suppresses_spans_but_not_counters() {
+    let _guard = LEVEL_LOCK.lock().unwrap();
+    obs::set_log_level(obs::Level::Quiet);
+    let spans_before = obs::snapshot_spans()
+        .get("experiment(id=fig8)")
+        .map(|n| n.count)
+        .unwrap_or(0);
+    let cache_before = tiered_transit::core::cache::CacheStats::snapshot();
+    let result = runners::run("fig8", &fig8_config(obs::Level::Quiet))
+        .expect("fig8 runs")
+        .expect("fig8 known");
+    obs::set_log_level(obs::Level::Info);
+    assert!(!result.figures.is_empty());
+    let spans_after = obs::snapshot_spans()
+        .get("experiment(id=fig8)")
+        .map(|n| n.count)
+        .unwrap_or(0);
+    assert_eq!(spans_after, spans_before, "quiet run must not record spans");
+    let cache_delta =
+        tiered_transit::core::cache::CacheStats::snapshot().delta_since(&cache_before);
+    assert!(
+        cache_delta.hits + cache_delta.misses > 0,
+        "counters must stay live at quiet level"
+    );
+}
+
+/// Manifest capture composes with arbitrary timing maps (empty runs
+/// included) without touching figure output paths.
+#[test]
+fn manifest_capture_is_self_contained() {
+    let manifest = obs::RunManifest::capture(
+        serde::Serialize::to_content(&fig8_config(obs::Level::Info)),
+        42,
+        2,
+        vec!["fig8".to_string()],
+        BTreeMap::new(),
+    );
+    let parsed: Value = serde_json::from_str(&manifest.to_json()).unwrap();
+    assert_eq!(parsed["seed"], 42i64);
+    assert_eq!(parsed["jobs"], 2i64);
+    assert_eq!(parsed["config"]["n_flows"], 120i64);
+    assert_eq!(parsed["experiments"][0], "fig8");
+}

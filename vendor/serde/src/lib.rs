@@ -52,6 +52,12 @@ pub trait Serialize {
     fn to_content(&self) -> Content;
 }
 
+impl Serialize for Content {
+    fn to_content(&self) -> Content {
+        self.clone()
+    }
+}
+
 /// Marker trait mirroring serde's `Deserialize`.
 ///
 /// Derived impls exist so `#[derive(Deserialize)]` compiles; typed
