@@ -1,0 +1,137 @@
+//! Kernel-level benchmarks of the evaluation hot path: the DP table
+//! build, full capture curves (one-pass vs per-point) at n ∈ {100, 1000}
+//! flows, and the sweep engine at jobs ∈ {1, N}. These isolate *where*
+//! the time goes, complementing the end-to-end figure benches.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use transit_core::bundling::{Bundling, BundlingStrategy, OptimalDp};
+use transit_core::capture::capture_curve;
+use transit_core::cost::LinearCost;
+use transit_core::demand::DemandFamily;
+use transit_core::market::TransitMarket;
+use transit_datasets::Network;
+use transit_experiments::markets::{fit_market, flows_for};
+use transit_experiments::{runners, ExperimentConfig, SweepEngine};
+
+const B_MAX: usize = 10;
+
+/// Forwards `bundle` but keeps the default per-`b` `bundle_series` loop —
+/// the pre-one-pass baseline.
+struct PerPointBaseline(OptimalDp);
+
+impl BundlingStrategy for PerPointBaseline {
+    fn name(&self) -> &'static str {
+        self.0.name()
+    }
+
+    fn bundle(
+        &self,
+        market: &dyn TransitMarket,
+        n_bundles: usize,
+    ) -> transit_core::error::Result<Bundling> {
+        self.0.bundle(market, n_bundles)
+    }
+}
+
+fn ced_market(n_flows: usize) -> Box<dyn TransitMarket> {
+    let cfg = ExperimentConfig {
+        n_flows,
+        ..ExperimentConfig::default()
+    };
+    let cost = LinearCost::new(cfg.theta).expect("valid theta");
+    let flows = flows_for(Network::EuIsp, &cfg);
+    fit_market(DemandFamily::Ced, &flows, &cost, &cfg).expect("market fits")
+}
+
+/// The raw DP series: every `1..=B_MAX` optimal partition in one call.
+fn dp_series(c: &mut Criterion) {
+    let market = ced_market(400);
+    let dp = OptimalDp::default();
+    // Warm the order/prefix-sum caches so iterations measure DP work.
+    dp.bundle_series(market.as_ref(), B_MAX).expect("warmup");
+    let mut g = c.benchmark_group("dp_series_n400");
+    g.sample_size(10);
+    g.bench_function("bundle_series_b10", |b| {
+        b.iter(|| black_box(dp.bundle_series(market.as_ref(), B_MAX).unwrap()))
+    });
+    g.bench_function("per_point_b10", |b| {
+        b.iter(|| {
+            for n_bundles in 1..=B_MAX {
+                black_box(dp.bundle(market.as_ref(), n_bundles).unwrap());
+            }
+        })
+    });
+    g.finish();
+}
+
+/// Full capture curves, one-pass vs per-point, at two problem sizes.
+fn capture_curves(c: &mut Criterion) {
+    for n_flows in [100usize, 1000] {
+        let market = ced_market(n_flows);
+        capture_curve(market.as_ref(), &OptimalDp::default(), B_MAX).expect("warmup");
+        let group_name = format!("capture_curve_n{n_flows}");
+        let mut g = c.benchmark_group(&group_name);
+        g.sample_size(10);
+        g.bench_function("one_pass", |b| {
+            b.iter(|| {
+                black_box(
+                    capture_curve(market.as_ref(), &OptimalDp::default(), B_MAX).unwrap(),
+                )
+            })
+        });
+        g.bench_function("per_point", |b| {
+            b.iter(|| {
+                black_box(
+                    capture_curve(
+                        market.as_ref(),
+                        &PerPointBaseline(OptimalDp::default()),
+                        B_MAX,
+                    )
+                    .unwrap(),
+                )
+            })
+        });
+        g.finish();
+    }
+}
+
+/// The sweep engine on fig8's 18 items at jobs ∈ {1, N}.
+fn sweep_jobs(c: &mut Criterion) {
+    let jobs_n = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let config = |jobs: usize| ExperimentConfig {
+        n_flows: 160,
+        jobs,
+        log_level: transit_obs::Level::Quiet,
+        ..ExperimentConfig::default()
+    };
+    transit_obs::set_log_level(transit_obs::Level::Quiet);
+    let mut g = c.benchmark_group("sweep_fig8_items18");
+    g.sample_size(10);
+    g.bench_function("jobs1", |b| {
+        b.iter(|| runners::run("fig8", &config(1)).unwrap().unwrap())
+    });
+    g.bench_function(&format!("jobs{jobs_n}"), |b| {
+        b.iter(|| runners::run("fig8", &config(jobs_n)).unwrap().unwrap())
+    });
+    transit_obs::set_log_level(transit_obs::Level::Info);
+    g.finish();
+}
+
+/// The engine's per-item overhead in isolation: tiny closure, many items.
+fn engine_overhead(c: &mut Criterion) {
+    let items: Vec<u64> = (0..10_000).collect();
+    let mut g = c.benchmark_group("engine_overhead_10k_items");
+    g.sample_size(10);
+    g.bench_function("jobs1", |b| {
+        let engine = SweepEngine::new(1);
+        b.iter(|| black_box(engine.run(&items, |_, &x| x.wrapping_mul(2654435761))))
+    });
+    g.finish();
+}
+
+criterion_group!(kernels, dp_series, capture_curves, sweep_jobs, engine_overhead);
+criterion_main!(kernels);

@@ -1,25 +1,49 @@
-//! Sweep bench-smoke: a fast, scriptable scaling check that writes
-//! `BENCH_sweep.json` (used by `scripts/check.sh`).
+//! Sweep bench-smoke: a fast, scriptable perf check that writes
+//! `BENCH_sweep.json` (schema v2) and doubles as the perf-regression
+//! gate for `scripts/check.sh`.
 //!
-//! Measures fig8 — 3 panels × 6 strategies = 18 DP-heavy sweep items —
-//! three ways:
+//! Two sections:
 //!
-//! * items/sec at `jobs = 1`, observability quiet,
-//! * items/sec at `jobs = N` (all cores), observability quiet,
-//! * items/sec at `jobs = 1` with spans enabled (info level), from which
-//!   the observability overhead percentage is derived. The acceptance
-//!   budget for that overhead is ≤ 5%.
+//! * **sweep** — fig8 (3 panels × 6 strategies = 18 DP-heavy items) at
+//!   `jobs = 1` and `jobs = N` (all cores), observability quiet, plus a
+//!   `jobs = 1` run with spans enabled from which the observability
+//!   overhead percentage is derived (budget: ≤ 5%). When only one core
+//!   is available the report says so (`single_core: true` + `warning`)
+//!   and the parallel speedup number is descriptive, not an assertion.
+//! * **kernels** — `capture_curve` over `OptimalDp` at n ∈ {100, 1000}
+//!   flows, B_max = 10, one-pass (`bundle_series`) vs the per-point
+//!   baseline (a wrapper strategy that forwards `bundle` but keeps the
+//!   default per-`b` `bundle_series` loop). The one-pass rewrite must
+//!   hold a ≥ 5× win at n = 1000 — that ratio is algorithmic
+//!   (≈ (B+1)/2 fewer DP cell updates), so it gates on any machine.
+//!
+//! Usage:
+//!
+//! ```text
+//! sweep_smoke [OUT.json]          # measure and write the v2 report
+//! sweep_smoke --gate BASELINE     # measure, compare against committed
+//!                                 # baseline, exit non-zero on regression
+//! ```
 
 use std::time::Instant;
 
+use transit_core::bundling::{Bundling, BundlingStrategy, OptimalDp};
+use transit_core::capture::capture_curve;
+use transit_core::cost::LinearCost;
+use transit_core::demand::DemandFamily;
+use transit_core::market::TransitMarket;
+use transit_datasets::Network;
+use transit_experiments::markets::{fit_market, flows_for};
 use transit_experiments::{runners, ExperimentConfig};
 
 const ITEMS_PER_RUN: usize = 18; // fig8: 3 panels x 6 strategies
 const REPS: usize = 3;
+const SWEEP_N_FLOWS: usize = 160;
+const KERNEL_B_MAX: usize = 10;
 
 fn config(jobs: usize, log_level: transit_obs::Level) -> ExperimentConfig {
     ExperimentConfig {
-        n_flows: 80,
+        n_flows: SWEEP_N_FLOWS,
         jobs,
         log_level,
         ..ExperimentConfig::default()
@@ -39,10 +63,150 @@ fn items_per_sec(cfg: &ExperimentConfig) -> f64 {
     ITEMS_PER_RUN as f64 / best
 }
 
-fn main() {
-    let out_path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_sweep.json".to_string());
+/// Forwards `bundle` but keeps the default per-`b` `bundle_series` loop:
+/// the pre-one-pass baseline, measured against the same inner strategy.
+struct PerPointBaseline<S: BundlingStrategy>(S);
+
+impl<S: BundlingStrategy> BundlingStrategy for PerPointBaseline<S> {
+    fn name(&self) -> &'static str {
+        self.0.name()
+    }
+
+    fn bundle(
+        &self,
+        market: &dyn TransitMarket,
+        n_bundles: usize,
+    ) -> transit_core::error::Result<Bundling> {
+        self.0.bundle(market, n_bundles)
+    }
+    // No bundle_series override: the trait default re-derives every
+    // curve point from scratch.
+}
+
+/// Best-of-[`REPS`] seconds for one full capture curve over `strategy`.
+fn curve_seconds(market: &dyn TransitMarket, strategy: &dyn BundlingStrategy) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..REPS {
+        let start = Instant::now();
+        capture_curve(market, strategy, KERNEL_B_MAX).expect("capture curve");
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+struct KernelResult {
+    name: &'static str,
+    n_flows: usize,
+    one_pass_sec: f64,
+    per_point_sec: f64,
+}
+
+impl KernelResult {
+    fn speedup(&self) -> f64 {
+        self.per_point_sec / self.one_pass_sec
+    }
+
+    fn to_content(&self) -> serde::Content {
+        serde::Content::Map(vec![
+            ("n_flows".into(), serde::Content::U64(self.n_flows as u64)),
+            ("b_max".into(), serde::Content::U64(KERNEL_B_MAX as u64)),
+            ("one_pass_sec".into(), serde::Content::F64(self.one_pass_sec)),
+            ("per_point_sec".into(), serde::Content::F64(self.per_point_sec)),
+            ("speedup_one_pass".into(), serde::Content::F64(self.speedup())),
+        ])
+    }
+}
+
+/// `capture_curve` over `OptimalDp`, one-pass vs per-point, at `n_flows`.
+fn kernel_capture_dp(name: &'static str, n_flows: usize) -> KernelResult {
+    let cfg = ExperimentConfig {
+        n_flows,
+        ..ExperimentConfig::default()
+    };
+    let cost = LinearCost::new(cfg.theta).expect("valid theta");
+    let flows = flows_for(Network::EuIsp, &cfg);
+    let market = fit_market(DemandFamily::Ced, &flows, &cost, &cfg).expect("market fits");
+    // Warm the order/prefix-sum caches so both variants measure DP work,
+    // not one-time cache builds.
+    capture_curve(market.as_ref(), &OptimalDp::default(), KERNEL_B_MAX).expect("warmup");
+    KernelResult {
+        name,
+        n_flows,
+        one_pass_sec: curve_seconds(market.as_ref(), &OptimalDp::default()),
+        per_point_sec: curve_seconds(market.as_ref(), &PerPointBaseline(OptimalDp::default())),
+    }
+}
+
+struct Report {
+    jobs_n: usize,
+    single_core: bool,
+    quiet1: f64,
+    quiet_n: f64,
+    info1: f64,
+    kernels: Vec<KernelResult>,
+}
+
+impl Report {
+    fn speedup_jobs_n(&self) -> f64 {
+        self.quiet_n / self.quiet1
+    }
+
+    fn to_json(&self) -> String {
+        let overhead_pct = (self.quiet1 / self.info1 - 1.0) * 100.0;
+        let warning = if self.single_core {
+            serde::Content::Str(
+                "only one core available: speedup_jobsN is not meaningful and \
+                 the parallel-speedup gate is skipped"
+                    .into(),
+            )
+        } else {
+            serde::Content::Null
+        };
+        let report = serde::Content::Map(vec![
+            (
+                "schema".into(),
+                serde::Content::Str("transit-bench/sweep-smoke/v2".into()),
+            ),
+            ("experiment".into(), serde::Content::Str("fig8".into())),
+            ("n_flows".into(), serde::Content::U64(SWEEP_N_FLOWS as u64)),
+            ("items_per_run".into(), serde::Content::U64(ITEMS_PER_RUN as u64)),
+            ("reps".into(), serde::Content::U64(REPS as u64)),
+            (
+                "available_parallelism".into(),
+                serde::Content::U64(self.jobs_n as u64),
+            ),
+            ("jobs_n".into(), serde::Content::U64(self.jobs_n as u64)),
+            ("single_core".into(), serde::Content::Bool(self.single_core)),
+            ("warning".into(), warning),
+            ("items_per_sec_jobs1".into(), serde::Content::F64(self.quiet1)),
+            ("items_per_sec_jobsN".into(), serde::Content::F64(self.quiet_n)),
+            (
+                "speedup_jobsN".into(),
+                serde::Content::F64(self.speedup_jobs_n()),
+            ),
+            (
+                "items_per_sec_jobs1_info".into(),
+                serde::Content::F64(self.info1),
+            ),
+            (
+                "obs_overhead_pct_info_vs_quiet".into(),
+                serde::Content::F64(overhead_pct),
+            ),
+            (
+                "kernels".into(),
+                serde::Content::Map(
+                    self.kernels
+                        .iter()
+                        .map(|k| (k.name.to_string(), k.to_content()))
+                        .collect(),
+                ),
+            ),
+        ]);
+        serde_json::to_string_pretty(&report).expect("report serializes")
+    }
+}
+
+fn measure() -> Report {
     let jobs_n = std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(1);
@@ -57,31 +221,99 @@ fn main() {
     let info1 = items_per_sec(&config(1, transit_obs::Level::Info));
     transit_obs::set_log_level(transit_obs::Level::Info);
 
-    let overhead_pct = (quiet1 / info1 - 1.0) * 100.0;
-    let report = serde::Content::Map(vec![
-        (
-            "schema".into(),
-            serde::Content::Str("transit-bench/sweep-smoke/v1".into()),
-        ),
-        ("experiment".into(), serde::Content::Str("fig8".into())),
-        ("n_flows".into(), serde::Content::U64(80)),
-        ("items_per_run".into(), serde::Content::U64(ITEMS_PER_RUN as u64)),
-        ("reps".into(), serde::Content::U64(REPS as u64)),
-        ("jobs_n".into(), serde::Content::U64(jobs_n as u64)),
-        ("items_per_sec_jobs1".into(), serde::Content::F64(quiet1)),
-        ("items_per_sec_jobsN".into(), serde::Content::F64(quiet_n)),
-        ("speedup_jobsN".into(), serde::Content::F64(quiet_n / quiet1)),
-        (
-            "items_per_sec_jobs1_info".into(),
-            serde::Content::F64(info1),
-        ),
-        (
-            "obs_overhead_pct_info_vs_quiet".into(),
-            serde::Content::F64(overhead_pct),
-        ),
-    ]);
-    let json = serde_json::to_string_pretty(&report).expect("report serializes");
-    std::fs::write(&out_path, &json).expect("bench report writes");
-    println!("{json}");
-    println!("wrote {out_path}");
+    let kernels = vec![
+        kernel_capture_dp("capture_curve_optimal_dp_n100", 100),
+        kernel_capture_dp("capture_curve_optimal_dp_n1000", 1000),
+    ];
+
+    Report {
+        jobs_n,
+        single_core: jobs_n == 1,
+        quiet1,
+        quiet_n,
+        info1,
+        kernels,
+    }
+}
+
+/// Compares a fresh measurement against the committed baseline report;
+/// returns the list of failures (empty = gate passes).
+fn gate(report: &Report, baseline_path: &str) -> Vec<String> {
+    let mut failures = Vec::new();
+
+    let baseline_items_per_sec = std::fs::read_to_string(baseline_path)
+        .ok()
+        .and_then(|text| serde_json::from_str::<serde_json::Value>(&text).ok())
+        .and_then(|v| v.get("items_per_sec_jobs1").and_then(|x| x.as_f64()));
+    match baseline_items_per_sec {
+        Some(base) => {
+            let floor = base * 0.8;
+            if report.quiet1 < floor {
+                failures.push(format!(
+                    "items_per_sec_jobs1 regressed >20%: measured {:.2}, \
+                     committed baseline {base:.2} (floor {floor:.2}); \
+                     re-run `sweep_smoke {baseline_path}` and commit the new \
+                     numbers only if the slowdown is intended",
+                    report.quiet1
+                ));
+            }
+        }
+        None => failures.push(format!(
+            "cannot read items_per_sec_jobs1 from baseline {baseline_path}; \
+             regenerate it with `sweep_smoke {baseline_path}`"
+        )),
+    }
+
+    if report.single_core {
+        println!("gate: single core detected; skipping parallel-speedup assertion");
+    } else if report.speedup_jobs_n() < 2.0 {
+        failures.push(format!(
+            "speedup_jobsN {:.2} < 2.0 on a {}-core machine: the sweep engine \
+             is not scaling",
+            report.speedup_jobs_n(),
+            report.jobs_n
+        ));
+    }
+
+    for k in &report.kernels {
+        if k.n_flows >= 1000 && k.speedup() < 5.0 {
+            failures.push(format!(
+                "kernel {}: one-pass speedup {:.2} < 5.0 (one_pass {:.4}s vs \
+                 per_point {:.4}s) — bundle_series lost its algorithmic win",
+                k.name,
+                k.speedup(),
+                k.one_pass_sec,
+                k.per_point_sec
+            ));
+        }
+    }
+    failures
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let report = measure();
+    let json = report.to_json();
+
+    if args.first().map(String::as_str) == Some("--gate") {
+        let baseline_path = args.get(1).map_or("BENCH_sweep.json", String::as_str);
+        println!("{json}");
+        let failures = gate(&report, baseline_path);
+        if failures.is_empty() {
+            println!("gate: OK (baseline {baseline_path})");
+        } else {
+            for f in &failures {
+                eprintln!("gate FAILED: {f}");
+            }
+            std::process::exit(1);
+        }
+    } else {
+        let out_path = args
+            .first()
+            .cloned()
+            .unwrap_or_else(|| "BENCH_sweep.json".to_string());
+        std::fs::write(&out_path, &json).expect("bench report writes");
+        println!("{json}");
+        println!("wrote {out_path}");
+    }
 }

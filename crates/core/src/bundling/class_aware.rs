@@ -11,7 +11,7 @@
 //! each when possible), and the token-bucket algorithm runs *within* each
 //! class.
 
-use super::token_bucket::token_bucket_assign;
+use super::token_bucket::{token_bucket_assign_ordered, weight_order};
 use super::weights::WeightKind;
 use super::{Bundling, BundlingStrategy};
 use crate::error::{Result, TransitError};
@@ -44,15 +44,33 @@ impl ClassAware {
     }
 }
 
-impl BundlingStrategy for ClassAware {
-    fn name(&self) -> &'static str {
-        "class-aware-profit-weighted"
-    }
+/// Everything about a (market, class labels) pair that does not depend on
+/// the bundle count: weights, traversal orders, and the per-class member
+/// partition. Computed once per series.
+struct Prepared {
+    n: usize,
+    weights: Vec<f64>,
+    /// Decreasing-weight order over all flows (the fallback path).
+    global_order: Vec<usize>,
+    /// Distinct classes in first-appearance order.
+    class_ids: Vec<usize>,
+    /// Total weight per class, aligned with `class_ids`.
+    class_weight: Vec<f64>,
+    total_weight: f64,
+    /// Class indices by decreasing class weight (ties by index).
+    heaviest_first: Vec<usize>,
+    /// Per class: member flow indices and their weights and traversal order.
+    members: Vec<ClassMembers>,
+}
 
-    fn bundle(&self, market: &dyn TransitMarket, n_bundles: usize) -> Result<Bundling> {
-        if n_bundles == 0 {
-            return Err(TransitError::ZeroBundles);
-        }
+struct ClassMembers {
+    idx: Vec<usize>,
+    w: Vec<f64>,
+    order: Vec<usize>,
+}
+
+impl ClassAware {
+    fn prepare(&self, market: &dyn TransitMarket) -> Result<Prepared> {
         let n = market.n_flows();
         if n == 0 {
             return Err(TransitError::EmptyFlowSet);
@@ -63,6 +81,7 @@ impl BundlingStrategy for ClassAware {
             });
         }
         let weights = self.kind.weights(market)?;
+        let global_order = weight_order(&weights);
 
         // Distinct classes in first-appearance order.
         let mut class_ids: Vec<usize> = Vec::new();
@@ -72,62 +91,105 @@ impl BundlingStrategy for ClassAware {
             }
         }
 
-        // With fewer bundles than classes we cannot keep classes separate;
-        // fall back to plain (class-oblivious) token bucketing, as a
-        // one-bundle ISP necessarily blends everything.
-        if n_bundles < class_ids.len() {
-            let assignment = token_bucket_assign(&weights, n_bundles)?;
-            return Bundling::new(assignment, n_bundles);
-        }
-
-        // Apportion bundles to classes: one each, remainder by class
-        // weight (largest-remainder style, deterministic).
-        let class_weight: Vec<f64> = class_ids
+        let members: Vec<ClassMembers> = class_ids
             .iter()
             .map(|&cid| {
-                self.classes
-                    .iter()
-                    .zip(&weights)
-                    .filter(|(&c, _)| c == cid)
-                    .map(|(_, &w)| w)
-                    .sum()
+                let idx: Vec<usize> = (0..n).filter(|&i| self.classes[i] == cid).collect();
+                let w: Vec<f64> = idx.iter().map(|&i| weights[i]).collect();
+                let order = weight_order(&w);
+                ClassMembers { idx, w, order }
             })
             .collect();
+        let class_weight: Vec<f64> = members.iter().map(|m| m.w.iter().sum()).collect();
         let total_weight: f64 = class_weight.iter().sum();
-        let spare = n_bundles - class_ids.len();
-        let mut alloc: Vec<usize> = class_weight
-            .iter()
-            .map(|&w| 1 + (w / total_weight * spare as f64).floor() as usize)
-            .collect();
-        let mut assigned: usize = alloc.iter().sum();
-        // Distribute any remainder to the heaviest classes.
-        let mut order: Vec<usize> = (0..class_ids.len()).collect();
-        order.sort_by(|&i, &j| {
+        let mut heaviest_first: Vec<usize> = (0..class_ids.len()).collect();
+        heaviest_first.sort_by(|&i, &j| {
             class_weight[j]
                 .partial_cmp(&class_weight[i])
                 .expect("finite weights")
                 .then(i.cmp(&j))
         });
+
+        Ok(Prepared {
+            n,
+            weights,
+            global_order,
+            class_ids,
+            class_weight,
+            total_weight,
+            heaviest_first,
+            members,
+        })
+    }
+
+    /// The bundle-count-dependent part: apportion bundles to classes and
+    /// token-bucket within each class.
+    fn assign(p: &Prepared, n_bundles: usize) -> Result<Vec<usize>> {
+        // With fewer bundles than classes we cannot keep classes separate;
+        // fall back to plain (class-oblivious) token bucketing, as a
+        // one-bundle ISP necessarily blends everything.
+        if n_bundles < p.class_ids.len() {
+            return token_bucket_assign_ordered(&p.weights, &p.global_order, n_bundles);
+        }
+
+        // Apportion bundles to classes: one each, remainder by class
+        // weight (largest-remainder style, deterministic).
+        let spare = n_bundles - p.class_ids.len();
+        let mut alloc: Vec<usize> = p
+            .class_weight
+            .iter()
+            .map(|&w| 1 + (w / p.total_weight * spare as f64).floor() as usize)
+            .collect();
+        let mut assigned: usize = alloc.iter().sum();
+        // Distribute any remainder to the heaviest classes.
         let mut k = 0;
         while assigned < n_bundles {
-            alloc[order[k % order.len()]] += 1;
+            alloc[p.heaviest_first[k % p.heaviest_first.len()]] += 1;
             assigned += 1;
             k += 1;
         }
 
         // Token-bucket within each class, offsetting bundle indices.
-        let mut assignment = vec![0usize; n];
+        let mut assignment = vec![0usize; p.n];
         let mut offset = 0;
-        for (ci, &cid) in class_ids.iter().enumerate() {
-            let member_idx: Vec<usize> = (0..n).filter(|&i| self.classes[i] == cid).collect();
-            let member_w: Vec<f64> = member_idx.iter().map(|&i| weights[i]).collect();
-            let local = token_bucket_assign(&member_w, alloc[ci])?;
-            for (pos, &flow) in member_idx.iter().enumerate() {
+        for (ci, m) in p.members.iter().enumerate() {
+            let local = token_bucket_assign_ordered(&m.w, &m.order, alloc[ci])?;
+            for (pos, &flow) in m.idx.iter().enumerate() {
                 assignment[flow] = offset + local[pos];
             }
             offset += alloc[ci];
         }
-        Bundling::new(assignment, n_bundles)
+        Ok(assignment)
+    }
+}
+
+impl BundlingStrategy for ClassAware {
+    fn name(&self) -> &'static str {
+        "class-aware-profit-weighted"
+    }
+
+    fn bundle(&self, market: &dyn TransitMarket, n_bundles: usize) -> Result<Bundling> {
+        if n_bundles == 0 {
+            return Err(TransitError::ZeroBundles);
+        }
+        let prepared = self.prepare(market)?;
+        Bundling::new(Self::assign(&prepared, n_bundles)?, n_bundles)
+    }
+
+    fn bundle_series(
+        &self,
+        market: &dyn TransitMarket,
+        max_bundles: usize,
+    ) -> Result<Vec<Bundling>> {
+        if max_bundles == 0 {
+            return Ok(Vec::new());
+        }
+        // Weights, orders, and the class partition are shared across the
+        // series; only the apportionment and bucket fill run per `B`.
+        let prepared = self.prepare(market)?;
+        (1..=max_bundles)
+            .map(|b| Bundling::new(Self::assign(&prepared, b)?, b))
+            .collect()
     }
 }
 

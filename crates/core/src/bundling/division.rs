@@ -31,19 +31,42 @@ impl BundlingStrategy for CostDivision {
             return Err(TransitError::EmptyFlowSet);
         }
         let max_c = costs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-        let width = max_c / n_bundles as f64;
-        let assignment: Vec<usize> = costs
-            .iter()
-            .map(|&c| {
-                if width <= 0.0 {
-                    0
-                } else {
-                    ((c / width) as usize).min(n_bundles - 1)
-                }
-            })
-            .collect();
-        Bundling::new(assignment, n_bundles)
+        Bundling::new(cost_range_assignment(costs, max_c, n_bundles), n_bundles)
     }
+
+    fn bundle_series(
+        &self,
+        market: &dyn TransitMarket,
+        max_bundles: usize,
+    ) -> Result<Vec<Bundling>> {
+        if max_bundles == 0 {
+            return Ok(Vec::new());
+        }
+        let costs = market.costs();
+        if costs.is_empty() {
+            return Err(TransitError::EmptyFlowSet);
+        }
+        // The cost axis is fixed; only the range width changes per `B`.
+        let max_c = costs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        (1..=max_bundles)
+            .map(|b| Bundling::new(cost_range_assignment(costs, max_c, b), b))
+            .collect()
+    }
+}
+
+/// Maps each cost into one of `n_bundles` equal-width ranges of `[0, max_c]`.
+fn cost_range_assignment(costs: &[f64], max_c: f64, n_bundles: usize) -> Vec<usize> {
+    let width = max_c / n_bundles as f64;
+    costs
+        .iter()
+        .map(|&c| {
+            if width <= 0.0 {
+                0
+            } else {
+                ((c / width) as usize).min(n_bundles - 1)
+            }
+        })
+        .collect()
 }
 
 /// Equal-count groups of the cost-ranked flows.
@@ -64,19 +87,50 @@ impl BundlingStrategy for IndexDivision {
         if n == 0 {
             return Err(TransitError::EmptyFlowSet);
         }
-        let mut order: Vec<usize> = (0..n).collect();
-        order.sort_by(|&i, &j| {
-            costs[i]
-                .partial_cmp(&costs[j])
-                .expect("costs are finite")
-                .then(i.cmp(&j))
-        });
-        let mut assignment = vec![0usize; n];
-        for (rank, &flow) in order.iter().enumerate() {
-            assignment[flow] = (rank * n_bundles / n).min(n_bundles - 1);
-        }
-        Bundling::new(assignment, n_bundles)
+        let order = cost_rank_order(costs);
+        Bundling::new(rank_group_assignment(&order, n_bundles), n_bundles)
     }
+
+    fn bundle_series(
+        &self,
+        market: &dyn TransitMarket,
+        max_bundles: usize,
+    ) -> Result<Vec<Bundling>> {
+        if max_bundles == 0 {
+            return Ok(Vec::new());
+        }
+        let costs = market.costs();
+        if costs.is_empty() {
+            return Err(TransitError::EmptyFlowSet);
+        }
+        // One cost-rank sort serves every bundle count.
+        let order = cost_rank_order(costs);
+        (1..=max_bundles)
+            .map(|b| Bundling::new(rank_group_assignment(&order, b), b))
+            .collect()
+    }
+}
+
+/// Flow indices by ascending cost, ties by index.
+fn cost_rank_order(costs: &[f64]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..costs.len()).collect();
+    order.sort_by(|&i, &j| {
+        costs[i]
+            .partial_cmp(&costs[j])
+            .expect("costs are finite")
+            .then(i.cmp(&j))
+    });
+    order
+}
+
+/// Splits the rank axis into `n_bundles` equal-count groups.
+fn rank_group_assignment(order: &[usize], n_bundles: usize) -> Vec<usize> {
+    let n = order.len();
+    let mut assignment = vec![0usize; n];
+    for (rank, &flow) in order.iter().enumerate() {
+        assignment[flow] = (rank * n_bundles / n).min(n_bundles - 1);
+    }
+    assignment
 }
 
 #[cfg(test)]

@@ -46,70 +46,111 @@ impl BundlingStrategy for NaturalBreaks {
         if n_bundles == 0 {
             return Err(TransitError::ZeroBundles);
         }
-        let costs = market.costs();
-        let demands = market.demands();
-        let n = costs.len();
-        if n == 0 {
-            return Err(TransitError::EmptyFlowSet);
-        }
-        let order = cost_order(costs);
-        let b_max = n_bundles.min(n);
+        let (order, parent) = jenks_tables(market, n_bundles)?;
+        let blocks = n_bundles.min(order.len());
+        Bundling::new(jenks_reconstruct(&order, &parent, blocks), n_bundles)
+    }
 
-        // Prefix sums of (w, w*c, w*c^2) along the cost order for O(1)
-        // weighted SSE of any run.
-        let mut pw = vec![0.0; n + 1];
-        let mut pwc = vec![0.0; n + 1];
-        let mut pwc2 = vec![0.0; n + 1];
-        for (pos, &flow) in order.iter().enumerate() {
-            let w = demands[flow];
-            let c = costs[flow];
-            pw[pos + 1] = pw[pos] + w;
-            pwc[pos + 1] = pwc[pos] + w * c;
-            pwc2[pos + 1] = pwc2[pos] + w * c * c;
+    fn bundle_series(
+        &self,
+        market: &dyn TransitMarket,
+        max_bundles: usize,
+    ) -> Result<Vec<Bundling>> {
+        if max_bundles == 0 {
+            return Ok(Vec::new());
         }
-        let sse = |from: usize, to: usize| -> f64 {
-            let w = pw[to] - pw[from];
-            if w <= 0.0 {
-                return 0.0;
-            }
-            let wc = pwc[to] - pwc[from];
-            let wc2 = pwc2[to] - pwc2[from];
-            (wc2 - wc * wc / w).max(0.0)
-        };
+        // One table build at the largest cluster count serves every `B`:
+        // DP row `b` depends only on row `b − 1`, so the parents under a
+        // larger cap are bitwise identical to a per-`B` build's.
+        let (order, parent) = jenks_tables(market, max_bundles)?;
+        let n = order.len();
+        (1..=max_bundles)
+            .map(|b| Bundling::new(jenks_reconstruct(&order, &parent, b.min(n)), b))
+            .collect()
+    }
+}
 
-        // dp[b][j]: min weighted SSE for the first j flows in b runs.
-        let mut dp = vec![vec![f64::INFINITY; n + 1]; b_max + 1];
-        let mut parent = vec![vec![0usize; n + 1]; b_max + 1];
-        dp[0][0] = 0.0;
-        for b in 1..=b_max {
-            for j in b..=n {
-                for k in (b - 1)..j {
-                    if dp[b - 1][k].is_infinite() {
-                        continue;
-                    }
-                    let cand = dp[b - 1][k] + sse(k, j);
-                    if cand < dp[b][j] {
-                        dp[b][j] = cand;
-                        parent[b][j] = k;
-                    }
+/// Builds the Fisher–Jenks DP parent table for up to `b_cap` clusters
+/// along the cost order. Returns `(order, parent)` where
+/// `parent[b*(n+1) + j]` is the split point of the last run covering the
+/// first `j` flows in `b` runs. DP values use rolling rows (row `b` reads
+/// only row `b − 1`), so memory is O(b_cap·n) for parents plus O(n).
+fn jenks_tables(market: &dyn TransitMarket, b_cap: usize) -> Result<(Vec<usize>, Vec<usize>)> {
+    let costs = market.costs();
+    let demands = market.demands();
+    let n = costs.len();
+    if n == 0 {
+        return Err(TransitError::EmptyFlowSet);
+    }
+    let order = cost_order(costs);
+    let b_cap = b_cap.min(n);
+
+    // Prefix sums of (w, w*c, w*c^2) along the cost order for O(1)
+    // weighted SSE of any run.
+    let mut pw = vec![0.0; n + 1];
+    let mut pwc = vec![0.0; n + 1];
+    let mut pwc2 = vec![0.0; n + 1];
+    for (pos, &flow) in order.iter().enumerate() {
+        let w = demands[flow];
+        let c = costs[flow];
+        pw[pos + 1] = pw[pos] + w;
+        pwc[pos + 1] = pwc[pos] + w * c;
+        pwc2[pos + 1] = pwc2[pos] + w * c * c;
+    }
+    let sse = |from: usize, to: usize| -> f64 {
+        let w = pw[to] - pw[from];
+        if w <= 0.0 {
+            return 0.0;
+        }
+        let wc = pwc[to] - pwc[from];
+        let wc2 = pwc2[to] - pwc2[from];
+        (wc2 - wc * wc / w).max(0.0)
+    };
+
+    // dp rows roll: prev[j] is min weighted SSE for the first j flows in
+    // b−1 runs while filling cur for b runs.
+    let w = n + 1;
+    let mut prev = vec![f64::INFINITY; w];
+    let mut cur = vec![f64::INFINITY; w];
+    let mut parent = vec![0usize; (b_cap + 1) * w];
+    prev[0] = 0.0;
+    for b in 1..=b_cap {
+        cur.fill(f64::INFINITY);
+        let par = &mut parent[b * w..(b + 1) * w];
+        for j in b..=n {
+            for (k, &prev_k) in prev.iter().enumerate().take(j).skip(b - 1) {
+                if prev_k.is_infinite() {
+                    continue;
+                }
+                let cand = prev_k + sse(k, j);
+                if cand < cur[j] {
+                    cur[j] = cand;
+                    par[j] = k;
                 }
             }
         }
-
-        // More clusters never raise SSE, so use all b_max.
-        let mut assignment = vec![0usize; n];
-        let mut j = n;
-        let mut b = b_max;
-        while b > 0 {
-            let k = parent[b][j];
-            for pos in k..j {
-                assignment[order[pos]] = b - 1;
-            }
-            j = k;
-            b -= 1;
-        }
-        Bundling::new(assignment, n_bundles)
+        std::mem::swap(&mut prev, &mut cur);
     }
+    Ok((order, parent))
+}
+
+/// Walks the parent table back from exactly `blocks` runs (more clusters
+/// never raise SSE, so the caller always uses all of them).
+fn jenks_reconstruct(order: &[usize], parent: &[usize], blocks: usize) -> Vec<usize> {
+    let n = order.len();
+    let w = n + 1;
+    let mut assignment = vec![0usize; n];
+    let mut j = n;
+    let mut b = blocks;
+    while b > 0 {
+        let k = parent[b * w + j];
+        for pos in k..j {
+            assignment[order[pos]] = b - 1;
+        }
+        j = k;
+        b -= 1;
+    }
+    assignment
 }
 
 /// Equal demand-mass cuts along the cost-sorted flow sequence.
@@ -131,21 +172,52 @@ impl BundlingStrategy for DemandMassDivision {
         if n == 0 {
             return Err(TransitError::EmptyFlowSet);
         }
-        let order = cost_order(costs);
-        let total: f64 = demands.iter().sum();
-
-        let mut assignment = vec![0usize; n];
-        let mut cum = 0.0;
-        for &flow in &order {
-            // Bundle by the flow's demand-mass midpoint along the cost
-            // order — every tier ends up with ~total/B of traffic.
-            let mid = cum + demands[flow] / 2.0;
-            cum += demands[flow];
-            let bundle = ((mid / total) * n_bundles as f64) as usize;
-            assignment[flow] = bundle.min(n_bundles - 1);
-        }
-        Bundling::new(assignment, n_bundles)
+        let (mids, total) = demand_mass_midpoints(costs, demands);
+        Bundling::new(mass_assignment(&mids, total, n_bundles), n_bundles)
     }
+
+    fn bundle_series(
+        &self,
+        market: &dyn TransitMarket,
+        max_bundles: usize,
+    ) -> Result<Vec<Bundling>> {
+        if max_bundles == 0 {
+            return Ok(Vec::new());
+        }
+        let costs = market.costs();
+        let demands = market.demands();
+        if costs.is_empty() {
+            return Err(TransitError::EmptyFlowSet);
+        }
+        // The cost sort and cumulative demand masses are per-market; only
+        // the quantile width changes per `B`.
+        let (mids, total) = demand_mass_midpoints(costs, demands);
+        (1..=max_bundles)
+            .map(|b| Bundling::new(mass_assignment(&mids, total, b), b))
+            .collect()
+    }
+}
+
+/// Each flow's demand-mass midpoint along the cost order, plus the total
+/// mass. `mids[flow]` = mass strictly before the flow + half its own.
+fn demand_mass_midpoints(costs: &[f64], demands: &[f64]) -> (Vec<f64>, f64) {
+    let order = cost_order(costs);
+    let total: f64 = demands.iter().sum();
+    let mut mids = vec![0.0; costs.len()];
+    let mut cum = 0.0;
+    for &flow in &order {
+        mids[flow] = cum + demands[flow] / 2.0;
+        cum += demands[flow];
+    }
+    (mids, total)
+}
+
+/// Bundle by demand-mass midpoint — every tier ends up with ~total/B of
+/// traffic.
+fn mass_assignment(mids: &[f64], total: f64, n_bundles: usize) -> Vec<usize> {
+    mids.iter()
+        .map(|&mid| (((mid / total) * n_bundles as f64) as usize).min(n_bundles - 1))
+        .collect()
 }
 
 #[cfg(test)]

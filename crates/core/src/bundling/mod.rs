@@ -123,6 +123,23 @@ pub trait BundlingStrategy {
 
     /// Produces a bundling with at most `n_bundles` tiers.
     fn bundle(&self, market: &dyn TransitMarket, n_bundles: usize) -> Result<Bundling>;
+
+    /// Produces the whole series `[bundle(market, 1), …,
+    /// bundle(market, max_bundles)]` in one call.
+    ///
+    /// Semantically this is exactly the per-point loop (which is the
+    /// default implementation); strategies override it to share sort
+    /// orders, prefix sums, and DP tables across the series, turning the
+    /// O(B_max²·n²) capture-curve hot path into one O(B_max·n²) pass.
+    /// Overrides must stay assignment-identical to the per-point path —
+    /// `tests/bundle_series_props.rs` enforces this for every strategy.
+    fn bundle_series(
+        &self,
+        market: &dyn TransitMarket,
+        max_bundles: usize,
+    ) -> Result<Vec<Bundling>> {
+        (1..=max_bundles).map(|b| self.bundle(market, b)).collect()
+    }
 }
 
 /// Identifies a strategy for the experiment harness, in the legend order of

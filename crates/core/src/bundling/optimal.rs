@@ -33,15 +33,8 @@ impl OptimalExhaustive {
     pub const MAX_FLOWS: usize = 14;
 }
 
-impl BundlingStrategy for OptimalExhaustive {
-    fn name(&self) -> &'static str {
-        "optimal-exhaustive"
-    }
-
-    fn bundle(&self, market: &dyn TransitMarket, n_bundles: usize) -> Result<Bundling> {
-        if n_bundles == 0 {
-            return Err(TransitError::ZeroBundles);
-        }
+impl OptimalExhaustive {
+    fn validate(market: &dyn TransitMarket) -> Result<usize> {
         let n = market.n_flows();
         if n == 0 {
             return Err(TransitError::EmptyFlowSet);
@@ -52,20 +45,34 @@ impl BundlingStrategy for OptimalExhaustive {
                 max_flows: Self::MAX_FLOWS,
             });
         }
+        Ok(n)
+    }
+
+    /// One sweep over the RGS space capped at `b_cap` blocks, tracking the
+    /// best partition for *every* block budget `1..=b_cap` at once.
+    ///
+    /// The odometer emits restricted-growth strings in lexicographic
+    /// order, and the strings with at most `k` blocks form a subsequence
+    /// that is exactly the cap-`k` enumeration in the same order — so the
+    /// first-strict-maximum winner per budget matches a direct per-budget
+    /// run bit for bit.
+    fn sweep(market: &dyn TransitMarket, b_cap: usize) -> Result<Vec<Vec<usize>>> {
+        let n = Self::validate(market)?;
         let terms = market.score_terms();
-        let max_blocks = n_bundles.min(n);
+        let b_cap = b_cap.min(n);
 
-        // Enumerate restricted-growth strings: rgs[0] = 0 and
-        // rgs[i] <= max(rgs[..i]) + 1, capped at max_blocks - 1.
         let mut rgs = vec![0usize; n];
-        let mut best_score = f64::NEG_INFINITY;
-        let mut best = rgs.clone();
+        // best_score[k] / best[k]: best seen so far among partitions with
+        // at most k blocks (index 0 unused).
+        let mut best_score = vec![f64::NEG_INFINITY; b_cap + 1];
+        let mut best = vec![rgs.clone(); b_cap + 1];
+        let mut sum_a = vec![0.0; b_cap];
+        let mut sum_b = vec![0.0; b_cap];
 
-        // Iterative odometer over RGS space.
         loop {
             // Score this partition.
-            let mut sum_a = vec![0.0; max_blocks];
-            let mut sum_b = vec![0.0; max_blocks];
+            sum_a.fill(0.0);
+            sum_b.fill(0.0);
             let mut blocks = 0usize;
             for (i, &g) in rgs.iter().enumerate() {
                 sum_a[g] += terms.a[i];
@@ -73,21 +80,29 @@ impl BundlingStrategy for OptimalExhaustive {
                 blocks = blocks.max(g + 1);
             }
             let score: f64 = (0..blocks).map(|g| terms.score(sum_a[g], sum_b[g])).sum();
-            if score > best_score {
-                best_score = score;
-                best = rgs.clone();
+            // A partition with `blocks` blocks is a candidate for every
+            // budget k >= blocks. best_score is non-decreasing in k (the
+            // candidate sets nest), so the first non-improving budget ends
+            // the update walk.
+            for k in blocks..=b_cap {
+                if score > best_score[k] {
+                    best_score[k] = score;
+                    best[k].clone_from(&rgs);
+                } else {
+                    break;
+                }
             }
 
-            // Advance to the next RGS.
+            // Advance to the next RGS: rgs[0] = 0 and
+            // rgs[i] <= max(rgs[..i]) + 1, capped at b_cap - 1.
             let mut i = n - 1;
             loop {
                 if i == 0 {
                     // rgs[0] must stay 0: enumeration complete.
-                    let assignment = best;
-                    return Bundling::new(assignment, n_bundles);
+                    return Ok(best);
                 }
                 let max_prefix = rgs[..i].iter().copied().max().unwrap_or(0);
-                let cap = (max_prefix + 1).min(max_blocks - 1);
+                let cap = (max_prefix + 1).min(b_cap - 1);
                 if rgs[i] < cap {
                     rgs[i] += 1;
                     for r in rgs[i + 1..].iter_mut() {
@@ -98,6 +113,36 @@ impl BundlingStrategy for OptimalExhaustive {
                 i -= 1;
             }
         }
+    }
+}
+
+impl BundlingStrategy for OptimalExhaustive {
+    fn name(&self) -> &'static str {
+        "optimal-exhaustive"
+    }
+
+    fn bundle(&self, market: &dyn TransitMarket, n_bundles: usize) -> Result<Bundling> {
+        if n_bundles == 0 {
+            return Err(TransitError::ZeroBundles);
+        }
+        let n = Self::validate(market)?;
+        let mut best = Self::sweep(market, n_bundles)?;
+        Bundling::new(best.swap_remove(n_bundles.min(n)), n_bundles)
+    }
+
+    fn bundle_series(
+        &self,
+        market: &dyn TransitMarket,
+        max_bundles: usize,
+    ) -> Result<Vec<Bundling>> {
+        if max_bundles == 0 {
+            return Ok(Vec::new());
+        }
+        let n = Self::validate(market)?;
+        let best = Self::sweep(market, max_bundles)?;
+        (1..=max_bundles)
+            .map(|b| Bundling::new(best[b.min(n)].clone(), b))
+            .collect()
     }
 }
 
@@ -145,67 +190,192 @@ impl OptimalDp {
     }
 }
 
-/// DP over one ordering: best partition of `order` into at most `b`
-/// contiguous runs, maximizing summed scores. Returns (assignment, score).
-fn dp_contiguous(
-    terms: &crate::market::ScoreTerms,
-    order: &[usize],
-    n_bundles: usize,
-) -> (Vec<usize>, f64) {
-    let n = order.len();
-    let b_max = n_bundles.min(n);
+/// DP tables over one ordering, built once for every block count up to
+/// `b_cap`.
+///
+/// Row `b` of the table depends only on row `b − 1`, so the values (and
+/// parents) computed under a larger cap are bitwise identical to the ones
+/// any smaller cap would produce — a single O(b_cap·n²) build serves
+/// every point of a capture curve where the per-point path paid
+/// O(Σ b·n²) = O(b_cap²·n²) total.
+struct DpTables {
+    n: usize,
+    b_cap: usize,
+    /// `dp[b*(n+1) + j]`: best score for the first `j` flows in exactly
+    /// `b` runs.
+    dp: Vec<f64>,
+    /// `parent[b*(n+1) + j]`: split point of the last run in that optimum.
+    parent: Vec<usize>,
+}
 
-    // Prefix sums of score terms along the ordering.
-    let mut pa = vec![0.0; n + 1];
-    let mut pb = vec![0.0; n + 1];
-    for (pos, &flow) in order.iter().enumerate() {
-        pa[pos + 1] = pa[pos] + terms.a[flow];
-        pb[pos + 1] = pb[pos] + terms.b[flow];
-    }
-    let run_score =
-        |from: usize, to: usize| terms.score(pa[to] - pa[from], pb[to] - pb[from]);
+impl DpTables {
+    /// Largest segment-score memo the build will allocate (entries):
+    /// 2²² × 8 B = 32 MB, reached around n ≈ 2900 flows. Larger
+    /// instances recompute scores in the inner loop instead.
+    const SCORE_MEMO_MAX_ENTRIES: usize = 1 << 22;
 
-    // dp[b][j]: best score for the first j flows in exactly b runs.
-    let mut dp = vec![vec![f64::NEG_INFINITY; n + 1]; b_max + 1];
-    let mut parent = vec![vec![0usize; n + 1]; b_max + 1];
-    dp[0][0] = 0.0;
-    for b in 1..=b_max {
-        for j in b..=n {
-            // Last run covers positions k..j.
-            for k in (b - 1)..j {
-                if dp[b - 1][k] == f64::NEG_INFINITY {
-                    continue;
+    /// Builds the tables from the order's score-term prefix sums.
+    fn build(terms: &crate::market::ScoreTerms, prefix: &crate::cache::PrefixSums, b_cap: usize) -> DpTables {
+        let pa = &prefix.a;
+        let pb = &prefix.b;
+        let n = pa.len() - 1;
+        let b_cap = b_cap.min(n);
+        let w = n + 1;
+        let run_score =
+            |from: usize, to: usize| terms.score(pa[to] - pa[from], pb[to] - pb[from]);
+
+        // `run_score(k, j)` is independent of the row, but the inner loop
+        // visits each (k, j) pair once per row — and the CED score costs
+        // a `powf` per call. Memoizing the lower triangle turns b_cap
+        // transcendental passes into one plus b_cap table lookups.
+        // Identical results: the memo stores the exact same f64 the
+        // inline call would produce. Skipped when one row would use each
+        // pair at most once or the triangle would outgrow the memory cap.
+        let n_pairs = n * (n + 1) / 2;
+        let tri = |from: usize, to: usize| to * (to - 1) / 2 + from;
+        let memo: Option<Vec<f64>> = (b_cap > 1 && n_pairs <= Self::SCORE_MEMO_MAX_ENTRIES)
+            .then(|| {
+                let mut m = vec![0.0; n_pairs];
+                for to in 1..=n {
+                    let row = &mut m[tri(0, to)..tri(0, to) + to];
+                    for (from, slot) in row.iter_mut().enumerate() {
+                        *slot = run_score(from, to);
+                    }
                 }
-                let cand = dp[b - 1][k] + run_score(k, j);
-                if cand > dp[b][j] {
-                    dp[b][j] = cand;
-                    parent[b][j] = k;
+                m
+            });
+
+        let mut dp = vec![f64::NEG_INFINITY; (b_cap + 1) * w];
+        let mut parent = vec![0usize; (b_cap + 1) * w];
+        dp[0] = 0.0;
+        for b in 1..=b_cap {
+            let (prev_rows, rest) = dp.split_at_mut(b * w);
+            let prev = &prev_rows[(b - 1) * w..];
+            let cur = &mut rest[..w];
+            let par = &mut parent[b * w..(b + 1) * w];
+            for j in b..=n {
+                // Last run covers positions k..j.
+                let scores = memo.as_ref().map(|m| &m[tri(0, j)..tri(0, j) + j]);
+                for k in (b - 1)..j {
+                    if prev[k] == f64::NEG_INFINITY {
+                        continue;
+                    }
+                    let s = match scores {
+                        Some(row) => row[k],
+                        None => run_score(k, j),
+                    };
+                    let cand = prev[k] + s;
+                    if cand > cur[j] {
+                        cur[j] = cand;
+                        par[j] = k;
+                    }
                 }
             }
         }
-    }
-
-    // Best block count <= b_max (using fewer bundles is allowed).
-    let mut best_b = 1;
-    for b in 1..=b_max {
-        if dp[b][n] > dp[best_b][n] {
-            best_b = b;
+        DpTables {
+            n,
+            b_cap,
+            dp,
+            parent,
         }
     }
 
-    // Reconstruct run boundaries.
-    let mut assignment = vec![0usize; n];
-    let mut j = n;
-    let mut b = best_b;
-    while b > 0 {
-        let k = parent[b][j];
-        for pos in k..j {
-            assignment[order[pos]] = b - 1;
+    /// Best exact block count for a budget of `n_bundles` bundles: first
+    /// strict maximum of the final column over `1..=min(budget, b_cap)`
+    /// (using fewer bundles is allowed), replicating the per-point
+    /// selection rule.
+    fn best_block_count(&self, budget: usize) -> usize {
+        let w = self.n + 1;
+        let mut best_b = 1;
+        for b in 1..=budget.min(self.b_cap) {
+            if self.dp[b * w + self.n] > self.dp[best_b * w + self.n] {
+                best_b = b;
+            }
         }
-        j = k;
-        b -= 1;
+        best_b
     }
-    (assignment, dp[best_b][n])
+
+    /// Score of the full flow set partitioned into exactly `blocks` runs.
+    fn score_at(&self, blocks: usize) -> f64 {
+        self.dp[blocks * (self.n + 1) + self.n]
+    }
+
+    /// Reconstructs the assignment for a partition into exactly `blocks`
+    /// runs by walking the parent pointers.
+    fn reconstruct(&self, order: &[usize], blocks: usize) -> Vec<usize> {
+        let w = self.n + 1;
+        let mut assignment = vec![0usize; self.n];
+        let mut j = self.n;
+        let mut b = blocks;
+        while b > 0 {
+            let k = self.parent[b * w + j];
+            for pos in k..j {
+                assignment[order[pos]] = b - 1;
+            }
+            j = k;
+            b -= 1;
+        }
+        assignment
+    }
+}
+
+impl OptimalDp {
+    /// Builds one `(order, tables)` pass per ordering, sharing the cached
+    /// sort orders and prefix sums across instances of the same fitted
+    /// market.
+    fn build_passes<'a>(
+        artifacts: &'a crate::cache::MarketArtifacts,
+        market: &dyn TransitMarket,
+        b_cap: usize,
+    ) -> Vec<(&'a [usize], DpTables)> {
+        let n = market.n_flows();
+        let terms = market.score_terms();
+        ORDERINGS
+            .into_iter()
+            .enumerate()
+            .map(|(slot, key)| {
+                let order = artifacts.order(slot, || {
+                    transit_obs::counter!("cache.order.builds").inc();
+                    let values = Self::key_values(key, market);
+                    let mut order: Vec<usize> = (0..n).collect();
+                    order.sort_by(|&i, &j| {
+                        values[i]
+                            .partial_cmp(&values[j])
+                            .expect("ordering keys are finite")
+                            .then(i.cmp(&j))
+                    });
+                    order
+                });
+                let prefix = artifacts.prefix_sums(slot, || {
+                    let mut pa = vec![0.0; n + 1];
+                    let mut pb = vec![0.0; n + 1];
+                    for (pos, &flow) in order.iter().enumerate() {
+                        pa[pos + 1] = pa[pos] + terms.a[flow];
+                        pb[pos + 1] = pb[pos] + terms.b[flow];
+                    }
+                    crate::cache::PrefixSums { a: pa, b: pb }
+                });
+                (order, DpTables::build(terms, prefix, b_cap))
+            })
+            .collect()
+    }
+
+    /// Picks the winning (pass, block count) for a bundle budget: the
+    /// per-ordering first-strict-max block count, then strict `>` between
+    /// orderings in `ORDERINGS` declaration order — the same tie-breaks
+    /// the per-point path applied, so winners are identical.
+    fn pick(passes: &[(&[usize], DpTables)], budget: usize) -> (usize, usize) {
+        let mut best: Option<(usize, usize, f64)> = None;
+        for (pi, (_, tables)) in passes.iter().enumerate() {
+            let blocks = tables.best_block_count(budget);
+            let score = tables.score_at(blocks);
+            if best.as_ref().is_none_or(|&(_, _, s)| score > s) {
+                best = Some((pi, blocks, score));
+            }
+        }
+        let (pi, blocks, _) = best.expect("at least one ordering evaluated");
+        (pi, blocks)
+    }
 }
 
 impl BundlingStrategy for OptimalDp {
@@ -223,32 +393,39 @@ impl BundlingStrategy for OptimalDp {
         }
         let _span = transit_obs::debug_span!("optimal_dp.bundle", n_bundles = n_bundles);
         transit_obs::counter!("bundling.dp.builds").inc();
-        let terms = market.score_terms();
         // Sort orders depend only on the fitted market, so they are shared
         // across instances via the process-wide fingerprint cache.
         let artifacts = crate::cache::artifacts_for(market);
+        let passes = Self::build_passes(&artifacts, market, n_bundles);
+        let (pi, blocks) = Self::pick(&passes, n_bundles);
+        let (order, tables) = &passes[pi];
+        Bundling::new(tables.reconstruct(order, blocks), n_bundles)
+    }
 
-        let mut best: Option<(Vec<usize>, f64)> = None;
-        for (slot, key) in ORDERINGS.into_iter().enumerate() {
-            let order = artifacts.order(slot, || {
-                transit_obs::counter!("cache.order.builds").inc();
-                let values = Self::key_values(key, market);
-                let mut order: Vec<usize> = (0..n).collect();
-                order.sort_by(|&i, &j| {
-                    values[i]
-                        .partial_cmp(&values[j])
-                        .expect("ordering keys are finite")
-                        .then(i.cmp(&j))
-                });
-                order
-            });
-            let (assignment, score) = dp_contiguous(terms, order, n_bundles);
-            if best.as_ref().is_none_or(|(_, s)| score > *s) {
-                best = Some((assignment, score));
-            }
+    fn bundle_series(
+        &self,
+        market: &dyn TransitMarket,
+        max_bundles: usize,
+    ) -> Result<Vec<Bundling>> {
+        if max_bundles == 0 {
+            return Ok(Vec::new());
         }
-        let (assignment, _) = best.expect("at least one ordering evaluated");
-        Bundling::new(assignment, n_bundles)
+        let n = market.n_flows();
+        if n == 0 {
+            return Err(TransitError::EmptyFlowSet);
+        }
+        let _span = transit_obs::debug_span!("optimal_dp.bundle_series", max_bundles = max_bundles);
+        transit_obs::counter!("bundling.dp.builds").inc();
+        let artifacts = crate::cache::artifacts_for(market);
+        // One table build per ordering covers every bundle count.
+        let passes = Self::build_passes(&artifacts, market, max_bundles);
+        (1..=max_bundles)
+            .map(|b| {
+                let (pi, blocks) = Self::pick(&passes, b);
+                let (order, tables) = &passes[pi];
+                Bundling::new(tables.reconstruct(order, blocks), b)
+            })
+            .collect()
     }
 }
 

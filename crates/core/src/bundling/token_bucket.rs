@@ -32,12 +32,44 @@ impl TokenBucket {
     }
 }
 
+/// Decreasing-weight traversal order (ties broken by index for
+/// determinism). Depends only on the weights, so a bundle-count series
+/// computes it once and reuses it for every `B`.
+pub fn weight_order(weights: &[f64]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..weights.len()).collect();
+    order.sort_by(|&i, &j| {
+        weights[j]
+            .partial_cmp(&weights[i])
+            .expect("weights are finite")
+            .then(i.cmp(&j))
+    });
+    order
+}
+
 /// Core algorithm, exposed for reuse by the class-aware wrapper: buckets
 /// `weights` into `n_bundles` groups, returning each flow's bundle index.
 ///
 /// Flows are traversed in decreasing weight order (ties broken by index
 /// for determinism).
 pub fn token_bucket_assign(weights: &[f64], n_bundles: usize) -> Result<Vec<usize>> {
+    if weights.is_empty() {
+        // Checked here too so the error precedence matches
+        // `token_bucket_assign_ordered` on doubly-degenerate input.
+        if n_bundles == 0 {
+            return Err(TransitError::ZeroBundles);
+        }
+        return Err(TransitError::EmptyFlowSet);
+    }
+    token_bucket_assign_ordered(weights, &weight_order(weights), n_bundles)
+}
+
+/// [`token_bucket_assign`] with a precomputed [`weight_order`], so series
+/// callers sort once instead of once per bundle count.
+pub fn token_bucket_assign_ordered(
+    weights: &[f64],
+    order: &[usize],
+    n_bundles: usize,
+) -> Result<Vec<usize>> {
     if n_bundles == 0 {
         return Err(TransitError::ZeroBundles);
     }
@@ -50,15 +82,7 @@ pub fn token_bucket_assign(weights: &[f64], n_bundles: usize) -> Result<Vec<usiz
     let mut occupied = vec![false; n_bundles];
     let mut assignment = vec![0usize; weights.len()];
 
-    let mut order: Vec<usize> = (0..weights.len()).collect();
-    order.sort_by(|&i, &j| {
-        weights[j]
-            .partial_cmp(&weights[i])
-            .expect("weights are finite")
-            .then(i.cmp(&j))
-    });
-
-    for &flow in &order {
+    for &flow in order {
         // First bundle that is empty or still has budget; the last bundle
         // is the unconditional fallback (paper's traversal always
         // terminates because every bundle starts empty).
@@ -92,6 +116,26 @@ impl BundlingStrategy for TokenBucket {
         let weights = self.kind.weights(market)?;
         let assignment = token_bucket_assign(&weights, n_bundles)?;
         Bundling::new(assignment, n_bundles)
+    }
+
+    fn bundle_series(
+        &self,
+        market: &dyn TransitMarket,
+        max_bundles: usize,
+    ) -> Result<Vec<Bundling>> {
+        if max_bundles == 0 {
+            return Ok(Vec::new());
+        }
+        // Weights and the decreasing-weight traversal order are shared by
+        // every point of the series; only the bucket fill differs per `B`.
+        let weights = self.kind.weights(market)?;
+        let order = weight_order(&weights);
+        (1..=max_bundles)
+            .map(|b| {
+                let assignment = token_bucket_assign_ordered(&weights, &order, b)?;
+                Bundling::new(assignment, b)
+            })
+            .collect()
     }
 }
 

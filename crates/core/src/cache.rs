@@ -78,10 +78,24 @@ impl MarketFingerprint {
     }
 }
 
+/// Prefix sums of the additive score terms along one cached sort order.
+///
+/// `a[j]` / `b[j]` are the sums of `ScoreTerms::a` / `ScoreTerms::b` over
+/// the first `j` flows of the order, so any contiguous run's score is an
+/// O(1) lookup. Shared across every bundle count of a capture curve.
+#[derive(Debug, Clone, Default)]
+pub struct PrefixSums {
+    /// `a[j]` = Σ terms.a over the first `j` flows of the order.
+    pub a: Vec<f64>,
+    /// `b[j]` = Σ terms.b over the first `j` flows of the order.
+    pub b: Vec<f64>,
+}
+
 /// Lazily-filled artifacts shared by all instances of one fitted market.
 #[derive(Debug, Default)]
 pub struct MarketArtifacts {
     orders: [OnceLock<Vec<usize>>; N_ORDER_SLOTS],
+    prefix_sums: [OnceLock<PrefixSums>; N_ORDER_SLOTS],
 }
 
 impl MarketArtifacts {
@@ -91,6 +105,12 @@ impl MarketArtifacts {
     /// would compute the same order).
     pub fn order(&self, slot: usize, build: impl FnOnce() -> Vec<usize>) -> &[usize] {
         self.orders[slot].get_or_init(build)
+    }
+
+    /// The cached score-term prefix sums for the order in `slot`. Same
+    /// purity contract as [`MarketArtifacts::order`].
+    pub fn prefix_sums(&self, slot: usize, build: impl FnOnce() -> PrefixSums) -> &PrefixSums {
+        self.prefix_sums[slot].get_or_init(build)
     }
 }
 

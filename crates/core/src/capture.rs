@@ -90,7 +90,36 @@ pub struct CaptureCurve {
     pub profit: Vec<f64>,
 }
 
+/// Interned eval counter for a strategy. The strategy vocabulary is
+/// static, so each known name resolves through a per-name `OnceLock`
+/// handle (one relaxed atomic per update); only names outside the
+/// vocabulary fall back to the allocating registry lookup.
+fn eval_counter(name: &str) -> &'static transit_obs::metrics::Counter {
+    match name {
+        "optimal" => transit_obs::counter!("capture.evals.optimal"),
+        "optimal-exhaustive" => transit_obs::counter!("capture.evals.optimal-exhaustive"),
+        "demand-weighted" => transit_obs::counter!("capture.evals.demand-weighted"),
+        "cost-weighted" => transit_obs::counter!("capture.evals.cost-weighted"),
+        "profit-weighted" => transit_obs::counter!("capture.evals.profit-weighted"),
+        "cost-division" => transit_obs::counter!("capture.evals.cost-division"),
+        "index-division" => transit_obs::counter!("capture.evals.index-division"),
+        "class-aware-profit-weighted" => {
+            transit_obs::counter!("capture.evals.class-aware-profit-weighted")
+        }
+        "natural-breaks" => transit_obs::counter!("capture.evals.natural-breaks"),
+        "demand-mass-division" => transit_obs::counter!("capture.evals.demand-mass-division"),
+        other => transit_obs::metrics::counter(&format!("capture.evals.{other}")),
+    }
+}
+
 /// Evaluates a strategy across `1..=max_bundles`.
+///
+/// Runs on [`BundlingStrategy::bundle_series`], so strategies that share
+/// work across bundle counts (one DP table, one sort) pay it once per
+/// curve instead of once per point; the market invariants
+/// (`original_profit`, `max_profit`, headroom) are likewise hoisted out
+/// of the loop. Point-for-point identical to calling
+/// [`capture_for_strategy`] at each bundle count.
 pub fn capture_curve(
     market: &dyn TransitMarket,
     strategy: &dyn BundlingStrategy,
@@ -98,19 +127,26 @@ pub fn capture_curve(
 ) -> Result<CaptureCurve> {
     let _span =
         transit_obs::debug_span!("capture_curve", strategy = strategy.name(), max = max_bundles);
-    // Per-strategy evaluation volume: one bundle evaluation per point on
-    // the curve. Dynamic name (bounded by the strategy vocabulary), so
-    // the plain function — not the interning macro — is the right call.
-    transit_obs::metrics::counter(&format!("capture.evals.{}", strategy.name()))
-        .add(max_bundles as u64);
+    eval_counter(strategy.name()).add(max_bundles as u64);
+
+    let bundlings = strategy.bundle_series(market, max_bundles)?;
+    let original = market.original_profit();
+    let max = market.max_profit();
+    let headroom = max - original;
+    let degenerate = headroom.abs() < 1e-12 * max.abs().max(1.0);
+
     let mut n_bundles = Vec::with_capacity(max_bundles);
     let mut capture = Vec::with_capacity(max_bundles);
     let mut profit = Vec::with_capacity(max_bundles);
-    for b in 1..=max_bundles {
-        let out = capture_for_strategy(market, strategy, b)?;
-        n_bundles.push(b);
-        capture.push(out.capture);
-        profit.push(out.profit);
+    for bundling in &bundlings {
+        let p = market.profit(bundling)?;
+        n_bundles.push(bundling.n_bundles());
+        capture.push(if degenerate {
+            1.0
+        } else {
+            (p - original) / headroom.abs()
+        });
+        profit.push(p);
     }
     Ok(CaptureCurve {
         strategy: strategy.name().to_string(),

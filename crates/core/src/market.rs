@@ -244,6 +244,23 @@ impl CedMarket {
             })
             .collect()
     }
+
+    /// Optimal per-bundle prices from a precomputed member grouping, so
+    /// `profit` can share one `members()` materialization between pricing
+    /// and the profit sum.
+    fn bundle_prices_of(&self, members: &[Vec<usize>]) -> Result<Vec<Option<f64>>> {
+        let mut prices = Vec::with_capacity(members.len());
+        for members in members {
+            if members.is_empty() {
+                prices.push(None);
+                continue;
+            }
+            let vs: Vec<f64> = members.iter().map(|&i| self.fit.valuations[i]).collect();
+            let cs: Vec<f64> = members.iter().map(|&i| self.fit.costs[i]).collect();
+            prices.push(Some(ced::bundle_price(&vs, &cs, self.fit.alpha)?));
+        }
+        Ok(prices)
+    }
 }
 
 impl TransitMarket for CedMarket {
@@ -283,24 +300,15 @@ impl TransitMarket for CedMarket {
 
     fn bundle_prices(&self, bundling: &Bundling) -> Result<Vec<Option<f64>>> {
         check_bundling(bundling, self.n_flows())?;
-        let mut prices = Vec::with_capacity(bundling.n_bundles());
-        for members in bundling.members() {
-            if members.is_empty() {
-                prices.push(None);
-                continue;
-            }
-            let vs: Vec<f64> = members.iter().map(|&i| self.fit.valuations[i]).collect();
-            let cs: Vec<f64> = members.iter().map(|&i| self.fit.costs[i]).collect();
-            prices.push(Some(ced::bundle_price(&vs, &cs, self.fit.alpha)?));
-        }
-        Ok(prices)
+        self.bundle_prices_of(&bundling.members())
     }
 
     fn profit(&self, bundling: &Bundling) -> Result<f64> {
         check_bundling(bundling, self.n_flows())?;
-        let prices = self.bundle_prices(bundling)?;
+        let members = bundling.members();
+        let prices = self.bundle_prices_of(&members)?;
         let mut total = 0.0;
-        for (members, price) in bundling.members().iter().zip(&prices) {
+        for (members, price) in members.iter().zip(&prices) {
             let Some(p) = price else { continue };
             for &i in members {
                 total +=

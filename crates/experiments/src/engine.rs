@@ -103,9 +103,11 @@ impl SweepEngine {
 
         // Workers flush their spans under the path open on the spawning
         // thread, so per-item spans aggregate under the experiment's own
-        // node in the tree rather than as detached roots.
+        // node in the tree rather than as detached roots. Under `quiet`
+        // spans are inactive, so skip the path bookkeeping entirely.
         let _sweep_span = transit_obs::span!("sweep.run", items = n, jobs = workers);
-        let parent_path = transit_obs::current_path();
+        let parent_path =
+            transit_obs::level_enabled(transit_obs::Level::Info).then(transit_obs::current_path);
         let parent_path = &parent_path;
 
         // Each worker accumulates (index, result) privately; merging by
@@ -115,7 +117,13 @@ impl SweepEngine {
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
                     scope.spawn(|| {
-                        let _path = transit_obs::inherit_path(parent_path.clone());
+                        let _path = parent_path
+                            .as_ref()
+                            .map(|p| transit_obs::inherit_path(p.clone()));
+                        // Declared after `_path` so it drops first: batched
+                        // roots flush while the base path is still pinned.
+                        // One registry lock per worker instead of per item.
+                        let _batch = transit_obs::batch_flushes();
                         let mut out = Vec::new();
                         loop {
                             let i = next.fetch_add(1, Ordering::Relaxed);

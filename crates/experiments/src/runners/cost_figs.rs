@@ -61,11 +61,11 @@ fn run_theta_panel(
         let cost = (panel.cost_for)(theta)?;
         let market = fit_market(family, &flows, cost.as_ref(), config)?;
         let strategy = (panel.strategy_for)(&flows);
-        let mut profits = Vec::with_capacity(config.max_bundles);
-        for b in 1..=config.max_bundles {
-            let bundling = strategy.bundle(market.as_ref(), b)?;
-            profits.push(market.profit(&bundling)?);
-        }
+        let profits = strategy
+            .bundle_series(market.as_ref(), config.max_bundles)?
+            .iter()
+            .map(|bundling| market.profit(bundling))
+            .collect::<transit_core::error::Result<Vec<f64>>>()?;
         Ok((theta, profits, market.original_profit(), market.max_profit()))
     })?;
     for (&(family, theta), d) in items.iter().zip(&durations) {

@@ -22,6 +22,7 @@ use transit_market::competition::{symmetric_transit_duopoly, Regime};
 use transit_market::response::ced_response;
 
 use crate::config::ExperimentConfig;
+use crate::engine::{ItemTiming, SweepEngine};
 use crate::markets::{fit_market, flows_for};
 use crate::output::{trim_num, ExperimentResult, Figure, Series, TableOut};
 
@@ -36,10 +37,38 @@ pub fn ext_strategies(config: &ExperimentConfig) -> Result<ExperimentResult> {
          demand-mass-division: equal-traffic cuts of the cost-sorted flows"
             .into(),
     );
+    let engine = SweepEngine::from_config(config);
     let cost = LinearCost::new(config.theta)?;
+    let markets: Vec<_> = Network::ALL
+        .iter()
+        .map(|&network| fit_market(DemandFamily::Ced, &flows_for(network, config), &cost, config))
+        .collect::<Result<Vec<_>>>()?;
+    let named: Vec<(&str, Box<dyn BundlingStrategy + Send + Sync>)> = vec![
+        ("Optimal", StrategyKind::Optimal.build()),
+        ("Profit-weighted", StrategyKind::ProfitWeighted.build()),
+        ("Cost division", StrategyKind::CostDivision.build()),
+        ("Natural breaks (ext)", Box::new(NaturalBreaks)),
+        ("Demand-mass division (ext)", Box::new(DemandMassDivision)),
+    ];
+
+    // One sweep item per (network, strategy); curves merge back in
+    // network-major, strategy-minor order.
+    let items: Vec<(usize, usize)> = (0..markets.len())
+        .flat_map(|mi| (0..named.len()).map(move |si| (mi, si)))
+        .collect();
+    let (curves, durations) = engine.try_run_timed(&items, |_, &(mi, si)| {
+        capture_curve(markets[mi].as_ref(), named[si].1.as_ref(), config.max_bundles)
+            .map(|curve| curve.capture)
+    })?;
+    for (&(mi, si), d) in items.iter().zip(&durations) {
+        r.timings.push(ItemTiming {
+            label: format!("ext1/{}/{}", Network::ALL[mi].label(), named[si].0),
+            seconds: d.as_secs_f64(),
+        });
+    }
+
+    let mut curves = curves.into_iter();
     for network in Network::ALL {
-        let flows = flows_for(network, config);
-        let market = fit_market(DemandFamily::Ced, &flows, &cost, config)?;
         let mut figure = Figure {
             id: format!("ext1-{}", network.label().replace(' ', "-").to_lowercase()),
             title: format!("Profit capture with extension strategies — {}", network.label()),
@@ -48,18 +77,10 @@ pub fn ext_strategies(config: &ExperimentConfig) -> Result<ExperimentResult> {
             x: (1..=config.max_bundles).map(|b| b as f64).collect(),
             series: Vec::new(),
         };
-        let named: Vec<(&str, Box<dyn BundlingStrategy + Send + Sync>)> = vec![
-            ("Optimal", StrategyKind::Optimal.build()),
-            ("Profit-weighted", StrategyKind::ProfitWeighted.build()),
-            ("Cost division", StrategyKind::CostDivision.build()),
-            ("Natural breaks (ext)", Box::new(NaturalBreaks)),
-            ("Demand-mass division (ext)", Box::new(DemandMassDivision)),
-        ];
-        for (label, strategy) in named {
-            let curve = capture_curve(market.as_ref(), strategy.as_ref(), config.max_bundles)?;
+        for (label, _) in &named {
             figure.series.push(Series {
-                label: label.into(),
-                y: curve.capture,
+                label: (*label).into(),
+                y: curves.next().expect("one curve per (network, strategy)"),
             });
         }
         r.figures.push(figure);
@@ -392,13 +413,28 @@ pub fn summary(config: &ExperimentConfig) -> Result<ExperimentResult> {
             markets.push(fit_market(family, &flows, &cost, config)?);
         }
     }
+    // The full (strategy, market) grid as independent sweep items,
+    // merged back strategy-major to match the table layout.
+    let engine = SweepEngine::from_config(config);
+    let items: Vec<(StrategyKind, usize)> = StrategyKind::ALL
+        .iter()
+        .flat_map(|&kind| (0..markets.len()).map(move |mi| (kind, mi)))
+        .collect();
+    let (cells, durations) = engine.try_run_timed(&items, |_, &(kind, mi)| {
+        let strategy = kind.build();
+        let out = capture_curve(markets[mi].as_ref(), strategy.as_ref(), 4)?;
+        Ok(format!("{:.0}%", out.capture[3] * 100.0))
+    })?;
+    for (&(kind, mi), d) in items.iter().zip(&durations) {
+        r.timings.push(ItemTiming {
+            label: format!("summary/{}/market{}", kind.label(), mi),
+            seconds: d.as_secs_f64(),
+        });
+    }
+    let mut cells = cells.into_iter();
     for kind in StrategyKind::ALL {
         let mut row = vec![kind.label().to_string()];
-        for market in &markets {
-            let strategy = kind.build();
-            let out = capture_curve(market.as_ref(), strategy.as_ref(), 4)?;
-            row.push(format!("{:.0}%", out.capture[3] * 100.0));
-        }
+        row.extend((0..markets.len()).map(|_| cells.next().expect("full grid")));
         t.rows.push(row);
     }
     r.tables.push(t);

@@ -45,7 +45,10 @@ pub use metrics::{
     reset as reset_metrics, snapshot as snapshot_metrics, Counter, Histogram, HistogramSnapshot,
     MetricsSnapshot,
 };
-pub use span::{current_path, inherit_path, reset_spans, snapshot_spans, Span, SpanNode};
+pub use span::{
+    batch_flushes, current_path, inherit_path, reset_spans, snapshot_spans, FlushBatch, Span,
+    SpanNode,
+};
 
 /// Enters an info-level span; returns a guard that records the span's
 /// wall-clock time when dropped.

@@ -105,6 +105,9 @@ thread_local! {
     /// Path prefix under which this thread's root spans merge (empty on
     /// threads that never called [`inherit_path`]).
     static BASE: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+    /// Buffer for deferred root flushes (`Some` while a [`batch_flushes`]
+    /// guard is alive on this thread).
+    static BATCH: RefCell<Option<BTreeMap<String, SpanNode>>> = const { RefCell::new(None) };
 }
 
 fn registry() -> &'static Mutex<BTreeMap<String, SpanNode>> {
@@ -177,8 +180,20 @@ impl Drop for Span {
 }
 
 /// Merges a completed root span into the global registry under this
-/// thread's base path (one mutex acquisition).
+/// thread's base path (one mutex acquisition) — or, while a
+/// [`batch_flushes`] guard is alive on this thread, into its lock-free
+/// local buffer.
 fn flush_root(key: String, node: SpanNode) {
+    let passthrough = BATCH.with(|batch| match batch.borrow_mut().as_mut() {
+        Some(buf) => {
+            buf.entry(key).or_default().merge(node);
+            None
+        }
+        None => Some((key, node)),
+    });
+    let Some((key, node)) = passthrough else {
+        return;
+    };
     let base = BASE.with(|base| base.borrow().clone());
     let mut tree = registry().lock().expect("span registry poisoned");
     let mut children = &mut *tree;
@@ -186,6 +201,64 @@ fn flush_root(key: String, node: SpanNode) {
         children = &mut children.entry(segment).or_default().children;
     }
     children.entry(key).or_default().merge(node);
+}
+
+/// Flushes a batch of root-span subtrees under the thread's base path
+/// with a single registry lock.
+fn flush_batch(batch: BTreeMap<String, SpanNode>) {
+    if batch.is_empty() {
+        return;
+    }
+    let base = BASE.with(|base| base.borrow().clone());
+    let mut tree = registry().lock().expect("span registry poisoned");
+    let mut children = &mut *tree;
+    for segment in base {
+        children = &mut children.entry(segment).or_default().children;
+    }
+    for (key, node) in batch {
+        children.entry(key).or_default().merge(node);
+    }
+}
+
+/// Merges the buffered roots into the registry when dropped.
+#[must_use = "dropping the guard immediately ends batching"]
+pub struct FlushBatch {
+    /// Only the outermost guard owns (and flushes) the buffer.
+    owner: bool,
+}
+
+/// Defers this thread's root-span flushes into a local buffer until the
+/// returned guard drops, then merges them with **one** registry lock.
+///
+/// Hot loops that open many short root spans (e.g. a sweep worker's
+/// per-item spans) would otherwise take the registry mutex once per
+/// span; batching makes the loop lock-free and contention-independent.
+/// Aggregation output is identical — the buffer merges exactly like the
+/// registry does. Guards nest; the outermost one flushes. Drop the guard
+/// before any [`inherit_path`] guard installed on the same thread, so
+/// the flush still sees the intended base path.
+pub fn batch_flushes() -> FlushBatch {
+    let owner = BATCH.with(|batch| {
+        let mut batch = batch.borrow_mut();
+        if batch.is_none() {
+            *batch = Some(BTreeMap::new());
+            true
+        } else {
+            false
+        }
+    });
+    FlushBatch { owner }
+}
+
+impl Drop for FlushBatch {
+    fn drop(&mut self) {
+        if !self.owner {
+            return;
+        }
+        if let Some(buf) = BATCH.with(|batch| batch.borrow_mut().take()) {
+            flush_batch(buf);
+        }
+    }
 }
 
 /// The active span path on this thread (base path plus open frames,
@@ -286,6 +359,50 @@ mod tests {
         let path = current_path();
         let tail: Vec<&str> = path.iter().map(String::as_str).collect();
         assert!(tail.ends_with(&["span_test.path_outer", "span_test.path_inner"]));
+    }
+
+    #[test]
+    fn batched_flushes_merge_identically_under_base_path() {
+        let path = vec!["span_test.batch_phase".to_string()];
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                let _path = inherit_path(path.clone());
+                let _batch = batch_flushes();
+                for _ in 0..5 {
+                    let _s = Span::enter(Level::Info, "span_test.batch_item", String::new);
+                }
+                // Nothing visible until the batch guard drops.
+                let before = snapshot_spans();
+                assert!(
+                    before
+                        .get("span_test.batch_phase")
+                        .map(|p| p.children.contains_key("span_test.batch_item"))
+                        != Some(true),
+                    "batched spans must not reach the registry early"
+                );
+            });
+        });
+        let tree = snapshot_spans();
+        let phase = tree.get("span_test.batch_phase").expect("base path materialized");
+        let item = phase.children.get("span_test.batch_item").expect("batch flushed");
+        assert_eq!(item.count, 5, "all batched spans aggregate into one node");
+    }
+
+    #[test]
+    fn nested_batch_guards_flush_once_at_outermost() {
+        {
+            let _outer_guard = batch_flushes();
+            {
+                let _inner_guard = batch_flushes();
+                let _s = Span::enter(Level::Info, "span_test.nested_batch", String::new);
+            }
+            // Inner guard dropped but outer still owns the buffer.
+            assert!(
+                !snapshot_spans().contains_key("span_test.nested_batch"),
+                "inner guard must not flush"
+            );
+        }
+        assert!(snapshot_spans().contains_key("span_test.nested_batch"));
     }
 
     #[test]

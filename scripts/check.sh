@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# Full local gate: lint everything (warnings are errors), then run the
-# whole workspace test suite. Mirrors what CI should enforce.
+# Full local gate: lint everything (warnings are errors), run the whole
+# workspace test suite, then the perf-regression gate. Mirrors what CI
+# should enforce.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -10,7 +11,14 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== tests (workspace) =="
 cargo test --workspace -q
 
-echo "== bench smoke (sweep items/sec -> BENCH_sweep.json) =="
-cargo run --release -q -p transit-bench --bin sweep_smoke -- BENCH_sweep.json
+# Perf gate: measure fresh and compare against the committed
+# BENCH_sweep.json. Fails if items_per_sec_jobs1 drops >20% or the
+# one-pass capture kernel loses its >=5x win; the parallel-speedup
+# assertion is skipped automatically on single-core machines. To accept
+# an intended perf change, regenerate the baseline with
+#   cargo run --release -p transit-bench --bin sweep_smoke -- BENCH_sweep.json
+# and commit the result.
+echo "== perf gate (fresh run vs committed BENCH_sweep.json) =="
+cargo run --release -q -p transit-bench --bin sweep_smoke -- --gate BENCH_sweep.json
 
 echo "OK"

@@ -1,0 +1,180 @@
+//! `BundlingStrategy::bundle_series` must be *assignment-identical* to
+//! the per-point `bundle` loop for every strategy — the one-pass kernels
+//! (shared DP tables, sort orders, prefix sums) are pure optimizations,
+//! not approximations. These properties pin that contract across random
+//! CED and logit markets.
+
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+
+use tiered_transit::core::bundling::{
+    BundlingStrategy, ClassAware, DemandMassDivision, NaturalBreaks, OptimalDp,
+    OptimalExhaustive, StrategyKind, WeightKind,
+};
+use tiered_transit::core::cost::LinearCost;
+use tiered_transit::core::demand::ced::CedAlpha;
+use tiered_transit::core::demand::logit::LogitAlpha;
+use tiered_transit::core::fitting::{fit_ced, fit_logit};
+use tiered_transit::core::flow::TrafficFlow;
+use tiered_transit::core::market::{CedMarket, LogitMarket, TransitMarket};
+
+/// Strategy for a valid flow set with `range` flows.
+fn arb_flows(range: std::ops::Range<usize>) -> impl Strategy<Value = Vec<TrafficFlow>> {
+    prop::collection::vec((0.1f64..500.0, 0.5f64..4000.0), range).prop_map(|pairs| {
+        pairs
+            .into_iter()
+            .enumerate()
+            .map(|(i, (q, d))| TrafficFlow::new(i as u32, q, d))
+            .collect()
+    })
+}
+
+fn ced_market(flows: &[TrafficFlow]) -> CedMarket {
+    let cost = LinearCost::new(0.2).unwrap();
+    CedMarket::new(fit_ced(flows, &cost, CedAlpha::new(1.2).unwrap(), 20.0).unwrap()).unwrap()
+}
+
+fn logit_market(flows: &[TrafficFlow]) -> Option<LogitMarket> {
+    let cost = LinearCost::new(0.2).unwrap();
+    fit_logit(flows, &cost, LogitAlpha::new(1.1).unwrap(), 20.0, 0.2)
+        .ok()
+        .map(|fit| LogitMarket::new(fit).unwrap())
+}
+
+/// Every strategy under test, including the non-`StrategyKind` ones.
+/// `classes` are the labels for the class-aware wrapper.
+fn all_strategies(classes: Vec<usize>) -> Vec<Box<dyn BundlingStrategy>> {
+    let mut strategies: Vec<Box<dyn BundlingStrategy>> = StrategyKind::ALL
+        .iter()
+        .map(|&kind| kind.build() as Box<dyn BundlingStrategy>)
+        .collect();
+    strategies.push(Box::new(ClassAware::new(WeightKind::PotentialProfit, classes)));
+    strategies.push(Box::new(NaturalBreaks));
+    strategies.push(Box::new(DemandMassDivision));
+    strategies
+}
+
+/// Asserts `bundle_series(market, max)` equals `[bundle(market, b)]`
+/// point for point, at the assignment level.
+fn assert_series_identical(
+    market: &dyn TransitMarket,
+    strategy: &dyn BundlingStrategy,
+    max_bundles: usize,
+) -> std::result::Result<(), TestCaseError> {
+    let series = strategy.bundle_series(market, max_bundles).unwrap();
+    prop_assert_eq!(series.len(), max_bundles, "{}", strategy.name());
+    for (idx, from_series) in series.iter().enumerate() {
+        let b = idx + 1;
+        let from_point = strategy.bundle(market, b).unwrap();
+        prop_assert_eq!(
+            from_series.assignment(),
+            from_point.assignment(),
+            "{} diverges at b={} of {}",
+            strategy.name(),
+            b,
+            max_bundles
+        );
+        prop_assert_eq!(from_series.n_bundles(), from_point.n_bundles());
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// All strategies: one-pass series == per-point loop on CED markets.
+    #[test]
+    fn series_matches_per_point_on_ced(
+        flows in arb_flows(2..20),
+        max_bundles in 1usize..8,
+    ) {
+        let market = ced_market(&flows);
+        let classes: Vec<usize> = (0..flows.len()).map(|i| i % 2).collect();
+        for strategy in all_strategies(classes) {
+            assert_series_identical(&market, strategy.as_ref(), max_bundles)?;
+        }
+    }
+
+    /// All strategies: one-pass series == per-point loop on logit markets.
+    #[test]
+    fn series_matches_per_point_on_logit(
+        flows in arb_flows(2..20),
+        max_bundles in 1usize..8,
+    ) {
+        // Infeasible logit fits (markup above P0) are a legitimate
+        // rejection, not a failure.
+        let Some(market) = logit_market(&flows) else { return Ok(()); };
+        let classes: Vec<usize> = (0..flows.len()).map(|i| i % 2).collect();
+        for strategy in all_strategies(classes) {
+            assert_series_identical(&market, strategy.as_ref(), max_bundles)?;
+        }
+    }
+
+    /// The exhaustive search's one-sweep series matches its per-budget
+    /// runs on instances small enough to enumerate.
+    #[test]
+    fn exhaustive_series_matches_per_point(
+        flows in arb_flows(2..9),
+        max_bundles in 1usize..6,
+    ) {
+        let market = ced_market(&flows);
+        assert_series_identical(&market, &OptimalExhaustive, max_bundles)?;
+    }
+
+    /// The one-pass DP's profit at every bundle count is *bitwise* equal
+    /// to the per-B DP's — shared tables must not perturb a single ULP.
+    #[test]
+    fn dp_series_profit_bitwise_equal(
+        flows in arb_flows(2..24),
+        max_bundles in 1usize..10,
+    ) {
+        let market = ced_market(&flows);
+        let dp = OptimalDp::new();
+        let series = dp.bundle_series(&market, max_bundles).unwrap();
+        for (idx, from_series) in series.iter().enumerate() {
+            let b = idx + 1;
+            let from_point = dp.bundle(&market, b).unwrap();
+            let p_series = market.profit(from_series).unwrap();
+            let p_point = market.profit(&from_point).unwrap();
+            prop_assert_eq!(
+                p_series.to_bits(),
+                p_point.to_bits(),
+                "b={}: {} vs {}",
+                b,
+                p_series,
+                p_point
+            );
+        }
+    }
+}
+
+/// Deterministic edge cases the random generators rarely hit.
+#[test]
+fn series_edge_cases() {
+    let flows: Vec<TrafficFlow> = (0..5)
+        .map(|i| TrafficFlow::new(i, 10.0 + i as f64, 100.0 + 10.0 * i as f64))
+        .collect();
+    let market = ced_market(&flows);
+    let classes = vec![0, 1, 0, 1, 0];
+    for strategy in all_strategies(classes) {
+        // max_bundles == 0 mirrors the per-point loop: an empty series.
+        assert_eq!(
+            strategy.bundle_series(&market, 0).unwrap().len(),
+            0,
+            "{}",
+            strategy.name()
+        );
+        // More bundles than flows still matches per-point behavior.
+        let series = strategy.bundle_series(&market, 9).unwrap();
+        for (idx, bundling) in series.iter().enumerate() {
+            let per_point = strategy.bundle(&market, idx + 1).unwrap();
+            assert_eq!(
+                bundling.assignment(),
+                per_point.assignment(),
+                "{} diverges at b={} > n",
+                strategy.name(),
+                idx + 1
+            );
+        }
+    }
+}
