@@ -1,17 +1,22 @@
 //! Kernel-level benchmarks of the evaluation hot path: the DP table
 //! build, full capture curves (one-pass vs per-point) at n ∈ {100, 1000}
-//! flows, and the sweep engine at jobs ∈ {1, N}. These isolate *where*
-//! the time goes, complementing the end-to-end figure benches.
+//! flows, the sweep engine at jobs ∈ {1, N}, ε = 0 flow coalescing on a
+//! replicated 100k-flow market, and the tiled DP build at dp_threads
+//! ∈ {1, N}. These isolate *where* the time goes, complementing the
+//! end-to-end figure benches.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-use transit_core::bundling::{Bundling, BundlingStrategy, OptimalDp};
+use transit_core::bundling::{Bundling, BundlingStrategy, OptimalDp, StrategyKind};
 use transit_core::capture::capture_curve;
+use transit_core::coalesce::CoalescedMarket;
 use transit_core::cost::LinearCost;
+use transit_core::demand::ced::CedAlpha;
 use transit_core::demand::DemandFamily;
-use transit_core::market::TransitMarket;
-use transit_datasets::Network;
+use transit_core::fitting::fit_ced;
+use transit_core::market::{CedMarket, TransitMarket};
+use transit_datasets::{generate_replicated, Network};
 use transit_experiments::markets::{fit_market, flows_for};
 use transit_experiments::{runners, ExperimentConfig, SweepEngine};
 
@@ -121,6 +126,68 @@ fn sweep_jobs(c: &mut Criterion) {
     g.finish();
 }
 
+/// ε = 0 coalescing on a replicated 100k-raw-flow CED market: the group
+/// build itself (clone included — it is O(n) copies vs the O(n) hash
+/// pass it accompanies), and a heuristic capture curve over the
+/// coalesced view vs the raw market.
+fn coalesce_kernels(c: &mut Criterion) {
+    let dataset = generate_replicated(Network::EuIsp, 500, 200, 42); // 100k raw
+    let cost = LinearCost::new(0.2).expect("valid theta");
+    let market = CedMarket::new(
+        fit_ced(&dataset.flows, &cost, CedAlpha::new(1.1).expect("valid alpha"), 20.0)
+            .expect("fits"),
+    )
+    .expect("builds");
+    let coalesced = CoalescedMarket::new(market.clone()).expect("coalesces");
+    let heuristic = StrategyKind::ProfitWeighted.build();
+
+    let mut g = c.benchmark_group("coalesce_100k_raw");
+    g.sample_size(10);
+    g.bench_function("build_groups", |b| {
+        b.iter(|| black_box(CoalescedMarket::new(market.clone()).unwrap()))
+    });
+    g.bench_function("capture_curve_profit_weighted_coalesced", |b| {
+        b.iter(|| black_box(capture_curve(&coalesced, heuristic.as_ref(), B_MAX).unwrap()))
+    });
+    g.bench_function("capture_curve_profit_weighted_raw", |b| {
+        b.iter(|| black_box(capture_curve(&market, heuristic.as_ref(), B_MAX).unwrap()))
+    });
+    g.finish();
+}
+
+/// The tiled DP table build at dp_threads ∈ {1, N} on a 1000-flow
+/// market (byte-identical output; this measures the wall-clock win).
+fn tiled_dp(c: &mut Criterion) {
+    let threads_n = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let market = ced_market(1000);
+    OptimalDp::with_threads(1)
+        .bundle_series(market.as_ref(), B_MAX)
+        .expect("warmup");
+    let mut g = c.benchmark_group("tiled_dp_n1000");
+    g.sample_size(10);
+    g.bench_function("dp_threads1", |b| {
+        b.iter(|| {
+            black_box(
+                OptimalDp::with_threads(1)
+                    .bundle_series(market.as_ref(), B_MAX)
+                    .unwrap(),
+            )
+        })
+    });
+    g.bench_function(&format!("dp_threads{threads_n}"), |b| {
+        b.iter(|| {
+            black_box(
+                OptimalDp::with_threads(threads_n)
+                    .bundle_series(market.as_ref(), B_MAX)
+                    .unwrap(),
+            )
+        })
+    });
+    g.finish();
+}
+
 /// The engine's per-item overhead in isolation: tiny closure, many items.
 fn engine_overhead(c: &mut Criterion) {
     let items: Vec<u64> = (0..10_000).collect();
@@ -133,5 +200,13 @@ fn engine_overhead(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(kernels, dp_series, capture_curves, sweep_jobs, engine_overhead);
+criterion_group!(
+    kernels,
+    dp_series,
+    capture_curves,
+    sweep_jobs,
+    coalesce_kernels,
+    tiled_dp,
+    engine_overhead
+);
 criterion_main!(kernels);

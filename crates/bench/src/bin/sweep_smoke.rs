@@ -1,8 +1,8 @@
 //! Sweep bench-smoke: a fast, scriptable perf check that writes
-//! `BENCH_sweep.json` (schema v2) and doubles as the perf-regression
+//! `BENCH_sweep.json` (schema v3) and doubles as the perf-regression
 //! gate for `scripts/check.sh`.
 //!
-//! Two sections:
+//! Three sections:
 //!
 //! * **sweep** — fig8 (3 panels × 6 strategies = 18 DP-heavy items) at
 //!   `jobs = 1` and `jobs = N` (all cores), observability quiet, plus a
@@ -16,23 +16,47 @@
 //!   default per-`b` `bundle_series` loop). The one-pass rewrite must
 //!   hold a ≥ 5× win at n = 1000 — that ratio is algorithmic
 //!   (≈ (B+1)/2 fewer DP cell updates), so it gates on any machine.
+//! * **million_flow** — the full scaling path: replicated million-flow
+//!   dataset → sharded NetFlow ingest → CED fit → ε = 0 flow coalescing
+//!   → capture curves for every heuristic strategy at B_max = 10, with
+//!   per-phase timings and the coalesce ratio. Gates on the *structural*
+//!   properties (coalesce ratio, measured-flow recovery), which hold on
+//!   any machine; wall-clock numbers are descriptive.
 //!
 //! Usage:
 //!
 //! ```text
-//! sweep_smoke [OUT.json]          # measure and write the v2 report
+//! sweep_smoke [OUT.json]          # measure and write the v3 report
 //! sweep_smoke --gate BASELINE     # measure, compare against committed
 //!                                 # baseline, exit non-zero on regression
+//! sweep_smoke --smoke [N] [SECS]  # bounded large-n smoke: run only the
+//!                                 # million-flow path at N raw flows
+//!                                 # (default 100000) and fail if it
+//!                                 # exceeds SECS (default 120) wall clock
 //! ```
+//!
+//! Gate migration (v2 → v3): v2 baselines lack the `million_flow`
+//! section and the gate's like-for-like speedup comparison; gating a v3
+//! measurement against a v2 baseline still checks `items_per_sec_jobs1`
+//! and the kernel ratios, prints a migration note for the rest, and
+//! passes — regenerate the baseline with `sweep_smoke BENCH_sweep.json`
+//! to pick up the new sections. The v3 gate reads the baseline's
+//! `single_core` flag and only compares parallel speedups when **both**
+//! runs were multi-core, so a baseline recorded on a single-core box
+//! (`speedup_jobsN ≈ 1.0`) can no longer masquerade as a scaling
+//! reference.
 
 use std::time::Instant;
 
-use transit_core::bundling::{Bundling, BundlingStrategy, OptimalDp};
+use transit_core::bundling::{Bundling, BundlingStrategy, OptimalDp, StrategyKind};
 use transit_core::capture::capture_curve;
+use transit_core::coalesce::CoalescedMarket;
 use transit_core::cost::LinearCost;
+use transit_core::demand::ced::CedAlpha;
 use transit_core::demand::DemandFamily;
-use transit_core::market::TransitMarket;
-use transit_datasets::Network;
+use transit_core::fitting::fit_ced;
+use transit_core::market::{CedMarket, TransitMarket};
+use transit_datasets::{generate_replicated, run_pipeline, Network, PipelineConfig};
 use transit_experiments::markets::{fit_market, flows_for};
 use transit_experiments::{runners, ExperimentConfig};
 
@@ -40,6 +64,10 @@ const ITEMS_PER_RUN: usize = 18; // fig8: 3 panels x 6 strategies
 const REPS: usize = 3;
 const SWEEP_N_FLOWS: usize = 160;
 const KERNEL_B_MAX: usize = 10;
+const MILLION_FLOW_RAW: usize = 1_000_000;
+const MILLION_FLOW_DISTINCT: usize = 1_000;
+const SMOKE_DEFAULT_RAW: usize = 100_000;
+const SMOKE_DEFAULT_BUDGET_SECS: f64 = 120.0;
 
 fn config(jobs: usize, log_level: transit_obs::Level) -> ExperimentConfig {
     ExperimentConfig {
@@ -137,6 +165,137 @@ fn kernel_capture_dp(name: &'static str, n_flows: usize) -> KernelResult {
     }
 }
 
+/// One run of the full scaling path (tentpole of the million-flow PR):
+/// replicated dataset → sharded ingest → fit → ε = 0 coalesce → capture
+/// curves over every heuristic strategy.
+struct MillionFlowResult {
+    n_raw: usize,
+    n_distinct: usize,
+    n_measured: usize,
+    n_groups: usize,
+    ingest_shards: usize,
+    generate_sec: f64,
+    ingest_sec: f64,
+    fit_sec: f64,
+    coalesce_sec: f64,
+    curves_sec: f64,
+}
+
+impl MillionFlowResult {
+    /// Raw measured flows per coalesced group.
+    fn coalesce_ratio(&self) -> f64 {
+        self.n_measured as f64 / self.n_groups as f64
+    }
+
+    fn total_sec(&self) -> f64 {
+        self.generate_sec + self.ingest_sec + self.fit_sec + self.coalesce_sec + self.curves_sec
+    }
+
+    fn to_content(&self) -> serde::Content {
+        serde::Content::Map(vec![
+            ("n_raw_flows".into(), serde::Content::U64(self.n_raw as u64)),
+            ("n_distinct".into(), serde::Content::U64(self.n_distinct as u64)),
+            (
+                "n_measured_flows".into(),
+                serde::Content::U64(self.n_measured as u64),
+            ),
+            ("n_groups".into(), serde::Content::U64(self.n_groups as u64)),
+            (
+                "coalesce_ratio".into(),
+                serde::Content::F64(self.coalesce_ratio()),
+            ),
+            (
+                "ingest_shards".into(),
+                serde::Content::U64(self.ingest_shards as u64),
+            ),
+            ("b_max".into(), serde::Content::U64(KERNEL_B_MAX as u64)),
+            ("generate_sec".into(), serde::Content::F64(self.generate_sec)),
+            ("ingest_sec".into(), serde::Content::F64(self.ingest_sec)),
+            ("fit_sec".into(), serde::Content::F64(self.fit_sec)),
+            ("coalesce_sec".into(), serde::Content::F64(self.coalesce_sec)),
+            ("curves_sec".into(), serde::Content::F64(self.curves_sec)),
+            ("total_sec".into(), serde::Content::F64(self.total_sec())),
+        ])
+    }
+}
+
+/// The heuristic strategies of Fig. 8 (everything but the DP optimal).
+fn heuristic_kinds() -> Vec<StrategyKind> {
+    StrategyKind::ALL
+        .into_iter()
+        .filter(|k| *k != StrategyKind::Optimal)
+        .collect()
+}
+
+/// Runs the generate → ingest → fit → coalesce → bundle path at `n_raw`
+/// raw flows (replicated from [`MILLION_FLOW_DISTINCT`] distinct base
+/// flows, so ε = 0 coalescing has real duplicates to merge — the input
+/// shape whole-ISP traffic matrices exhibit).
+fn million_flow(n_raw: usize) -> MillionFlowResult {
+    let n_distinct = MILLION_FLOW_DISTINCT.min(n_raw.max(2));
+    let replication = (n_raw / n_distinct).max(1);
+    let ingest_shards = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(8);
+
+    let t = Instant::now();
+    let dataset = generate_replicated(Network::EuIsp, n_distinct, replication, 42);
+    let generate_sec = t.elapsed().as_secs_f64();
+
+    // Unsampled measurement: every replica carries a unique flow key, so
+    // the collector recovers (nearly) all of them; only flows too small
+    // to emit one packet in the window drop out.
+    let t = Instant::now();
+    let out = run_pipeline(
+        &dataset,
+        PipelineConfig {
+            sampling_rate: 1,
+            routers_on_path: 2,
+            window_secs: 60.0,
+            packet_bytes: 1_500,
+            ingest_shards,
+        },
+    );
+    let ingest_sec = t.elapsed().as_secs_f64();
+
+    let t = Instant::now();
+    let cost = LinearCost::new(0.2).expect("valid theta");
+    let fit = fit_ced(
+        &out.measured_flows,
+        &cost,
+        CedAlpha::new(1.1).expect("valid alpha"),
+        20.0,
+    )
+    .expect("CED fits measured flows");
+    let market = CedMarket::new(fit).expect("market builds");
+    let fit_sec = t.elapsed().as_secs_f64();
+
+    let t = Instant::now();
+    let coalesced = CoalescedMarket::new(market).expect("market coalesces");
+    let coalesce_sec = t.elapsed().as_secs_f64();
+
+    let t = Instant::now();
+    for kind in heuristic_kinds() {
+        let strategy = kind.build();
+        capture_curve(&coalesced, strategy.as_ref(), KERNEL_B_MAX).expect("capture curve");
+    }
+    let curves_sec = t.elapsed().as_secs_f64();
+
+    MillionFlowResult {
+        n_raw,
+        n_distinct,
+        n_measured: coalesced.n_raw_flows(),
+        n_groups: coalesced.n_groups(),
+        ingest_shards,
+        generate_sec,
+        ingest_sec,
+        fit_sec,
+        coalesce_sec,
+        curves_sec,
+    }
+}
+
 struct Report {
     jobs_n: usize,
     single_core: bool,
@@ -144,6 +303,7 @@ struct Report {
     quiet_n: f64,
     info1: f64,
     kernels: Vec<KernelResult>,
+    million_flow: MillionFlowResult,
 }
 
 impl Report {
@@ -165,7 +325,7 @@ impl Report {
         let report = serde::Content::Map(vec![
             (
                 "schema".into(),
-                serde::Content::Str("transit-bench/sweep-smoke/v2".into()),
+                serde::Content::Str("transit-bench/sweep-smoke/v3".into()),
             ),
             ("experiment".into(), serde::Content::Str("fig8".into())),
             ("n_flows".into(), serde::Content::U64(SWEEP_N_FLOWS as u64)),
@@ -201,6 +361,7 @@ impl Report {
                         .collect(),
                 ),
             ),
+            ("million_flow".into(), self.million_flow.to_content()),
         ]);
         serde_json::to_string_pretty(&report).expect("report serializes")
     }
@@ -226,6 +387,8 @@ fn measure() -> Report {
         kernel_capture_dp("capture_curve_optimal_dp_n1000", 1000),
     ];
 
+    let million_flow = million_flow(MILLION_FLOW_RAW);
+
     Report {
         jobs_n,
         single_core: jobs_n == 1,
@@ -233,6 +396,7 @@ fn measure() -> Report {
         quiet_n,
         info1,
         kernels,
+        million_flow,
     }
 }
 
@@ -241,9 +405,11 @@ fn measure() -> Report {
 fn gate(report: &Report, baseline_path: &str) -> Vec<String> {
     let mut failures = Vec::new();
 
-    let baseline_items_per_sec = std::fs::read_to_string(baseline_path)
+    let baseline = std::fs::read_to_string(baseline_path)
         .ok()
-        .and_then(|text| serde_json::from_str::<serde_json::Value>(&text).ok())
+        .and_then(|text| serde_json::from_str::<serde_json::Value>(&text).ok());
+    let baseline_items_per_sec = baseline
+        .as_ref()
         .and_then(|v| v.get("items_per_sec_jobs1").and_then(|x| x.as_f64()));
     match baseline_items_per_sec {
         Some(base) => {
@@ -264,15 +430,47 @@ fn gate(report: &Report, baseline_path: &str) -> Vec<String> {
         )),
     }
 
+    // Parallel speedup: assert only like-for-like. A single-core run has
+    // speedup ≈ 1.0 *by construction*; it is neither gated against the
+    // absolute floor nor usable as a baseline reference for multi-core
+    // machines.
     if report.single_core {
         println!("gate: single core detected; skipping parallel-speedup assertion");
-    } else if report.speedup_jobs_n() < 2.0 {
-        failures.push(format!(
-            "speedup_jobsN {:.2} < 2.0 on a {}-core machine: the sweep engine \
-             is not scaling",
-            report.speedup_jobs_n(),
-            report.jobs_n
-        ));
+    } else {
+        if report.speedup_jobs_n() < 2.0 {
+            failures.push(format!(
+                "speedup_jobsN {:.2} < 2.0 on a {}-core machine: the sweep engine \
+                 is not scaling",
+                report.speedup_jobs_n(),
+                report.jobs_n
+            ));
+        }
+        let baseline_single_core = baseline
+            .as_ref()
+            .and_then(|v| v.get("single_core").and_then(|x| x.as_bool()));
+        let baseline_speedup = baseline
+            .as_ref()
+            .and_then(|v| v.get("speedup_jobsN").and_then(|x| x.as_f64()));
+        match (baseline_single_core, baseline_speedup) {
+            (Some(false), Some(base)) => {
+                let floor = base * 0.7;
+                if report.speedup_jobs_n() < floor {
+                    failures.push(format!(
+                        "speedup_jobsN regressed >30% vs multi-core baseline: \
+                         measured {:.2}, baseline {base:.2} (floor {floor:.2})",
+                        report.speedup_jobs_n()
+                    ));
+                }
+            }
+            (Some(true), _) => println!(
+                "gate: baseline was recorded on a single-core machine; \
+                 comparing against the absolute speedup floor only"
+            ),
+            _ => println!(
+                "gate: baseline predates the single_core field (pre-v2) or is \
+                 unreadable; comparing against the absolute speedup floor only"
+            ),
+        }
     }
 
     for k in &report.kernels {
@@ -287,11 +485,99 @@ fn gate(report: &Report, baseline_path: &str) -> Vec<String> {
             ));
         }
     }
+
+    // Million-flow path: gate the machine-independent structure. The
+    // replicated dataset has ~n_distinct distinct (v, c) pairs, so ε = 0
+    // coalescing must compress by (roughly) the replication factor, and
+    // unsampled unique-key measurement must recover nearly every flow.
+    let mf = &report.million_flow;
+    if baseline
+        .as_ref()
+        .map(|v| v.get("million_flow").is_none())
+        .unwrap_or(false)
+    {
+        println!(
+            "gate: baseline {baseline_path} is schema v2 (no million_flow \
+             section); regenerate it with `sweep_smoke {baseline_path}` to \
+             gate the scaling path against committed numbers"
+        );
+    }
+    if (mf.n_measured as f64) < 0.9 * mf.n_raw as f64 {
+        failures.push(format!(
+            "million_flow: only {} of {} raw flows measured (<90%): the \
+             unique-endpoint replication or sharded ingest is dropping flows",
+            mf.n_measured, mf.n_raw
+        ));
+    }
+    let min_ratio = (mf.n_raw / mf.n_distinct) as f64 * 0.5;
+    if mf.coalesce_ratio() < min_ratio {
+        failures.push(format!(
+            "million_flow: coalesce ratio {:.1} < {min_ratio:.1} ({} measured \
+             flows → {} groups): ε = 0 coalescing is not merging replicas",
+            mf.coalesce_ratio(),
+            mf.n_measured,
+            mf.n_groups
+        ));
+    }
     failures
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+
+    // Bounded large-n smoke (scripts/check.sh): only the million-flow
+    // path, at a reduced size, with a wall-clock budget.
+    if args.first().map(String::as_str) == Some("--smoke") {
+        let n_raw = args
+            .get(1)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(SMOKE_DEFAULT_RAW);
+        let budget_secs = args
+            .get(2)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(SMOKE_DEFAULT_BUDGET_SECS);
+        transit_obs::set_log_level(transit_obs::Level::Quiet);
+        let mf = million_flow(n_raw);
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&mf.to_content()).expect("smoke serializes")
+        );
+        let mut failed = false;
+        if (mf.n_measured as f64) < 0.9 * mf.n_raw as f64 {
+            eprintln!(
+                "smoke FAILED: only {} of {} raw flows measured (<90%)",
+                mf.n_measured, mf.n_raw
+            );
+            failed = true;
+        }
+        let min_ratio = (mf.n_raw / mf.n_distinct) as f64 * 0.5;
+        if mf.coalesce_ratio() < min_ratio {
+            eprintln!(
+                "smoke FAILED: coalesce ratio {:.1} < {min_ratio:.1}",
+                mf.coalesce_ratio()
+            );
+            failed = true;
+        }
+        if mf.total_sec() > budget_secs {
+            eprintln!(
+                "smoke FAILED: {} raw flows took {:.1}s end to end, budget {budget_secs:.0}s",
+                mf.n_raw,
+                mf.total_sec()
+            );
+            failed = true;
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        println!(
+            "smoke: OK ({} raw flows → {} groups in {:.2}s, budget {budget_secs:.0}s)",
+            mf.n_raw,
+            mf.n_groups,
+            mf.total_sec()
+        );
+        return;
+    }
+
     let report = measure();
     let json = report.to_json();
 

@@ -88,7 +88,10 @@ impl BundlingStrategy for IndexDivision {
             return Err(TransitError::EmptyFlowSet);
         }
         let order = cost_rank_order(costs);
-        Bundling::new(rank_group_assignment(&order, n_bundles), n_bundles)
+        Bundling::new(
+            rank_group_assignment(&order, market.flow_multiplicities(), n_bundles),
+            n_bundles,
+        )
     }
 
     fn bundle_series(
@@ -105,8 +108,9 @@ impl BundlingStrategy for IndexDivision {
         }
         // One cost-rank sort serves every bundle count.
         let order = cost_rank_order(costs);
+        let mult = market.flow_multiplicities();
         (1..=max_bundles)
-            .map(|b| Bundling::new(rank_group_assignment(&order, b), b))
+            .map(|b| Bundling::new(rank_group_assignment(&order, mult, b), b))
             .collect()
     }
 }
@@ -124,11 +128,26 @@ fn cost_rank_order(costs: &[f64]) -> Vec<usize> {
 }
 
 /// Splits the rank axis into `n_bundles` equal-count groups.
-fn rank_group_assignment(order: &[usize], n_bundles: usize) -> Vec<usize> {
-    let n = order.len();
-    let mut assignment = vec![0usize; n];
-    for (rank, &flow) in order.iter().enumerate() {
-        assignment[flow] = (rank * n_bundles / n).min(n_bundles - 1);
+///
+/// When `multiplicities` is present (a coalesced market), counts are in
+/// *raw flows*: an entry standing for `w` duplicates occupies `w`
+/// consecutive ranks and is assigned by the rank of its first raw flow.
+/// With all multiplicities 1 this is exactly `rank·B / n`, so coalescing
+/// a duplicate-free market leaves assignments unchanged.
+fn rank_group_assignment(
+    order: &[usize],
+    multiplicities: Option<&[u64]>,
+    n_bundles: usize,
+) -> Vec<usize> {
+    let mut assignment = vec![0usize; order.len()];
+    let total: u64 = match multiplicities {
+        None => order.len() as u64,
+        Some(m) => m.iter().sum(),
+    };
+    let mut cum = 0u64;
+    for &flow in order {
+        assignment[flow] = ((cum * n_bundles as u64 / total) as usize).min(n_bundles - 1);
+        cum += multiplicities.map_or(1, |m| m[flow]);
     }
     assignment
 }

@@ -19,9 +19,29 @@
 //!   generate, supporting the standard interval-bundling intuition for
 //!   these score functions).
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+
 use super::{Bundling, BundlingStrategy};
 use crate::error::{Result, TransitError};
 use crate::market::TransitMarket;
+
+/// Process-wide default for [`OptimalDp`] worker threads (used when a
+/// strategy instance does not carry its own count, e.g. the ones built by
+/// [`StrategyKind::build`](crate::bundling::StrategyKind::build)).
+static DEFAULT_DP_THREADS: AtomicUsize = AtomicUsize::new(1);
+
+/// Sets the process-wide default number of DP worker threads (clamped to
+/// at least 1). The experiment CLI's `--dp-threads` lands here; it
+/// composes with the sweep engine's item-level `--jobs` (each item's DP
+/// spreads its rows across this many workers).
+pub fn set_default_dp_threads(threads: usize) {
+    DEFAULT_DP_THREADS.store(threads.max(1), Ordering::Relaxed);
+}
+
+/// The current process-wide default number of DP worker threads.
+pub fn default_dp_threads() -> usize {
+    DEFAULT_DP_THREADS.load(Ordering::Relaxed)
+}
 
 /// Exact optimal bundling by set-partition enumeration.
 #[derive(Debug, Clone, Copy, Default)]
@@ -164,15 +184,38 @@ enum OrderingKey {
 
 /// Optimal-among-contiguous bundling via dynamic programming over several
 /// flow orderings.
+///
+/// The table build can spread each DP row across worker threads (row `b`
+/// reads only row `b − 1`, so cells within a row are independent); the
+/// row is cut into fixed-width column tiles and every cell is computed by
+/// exactly one worker with the same arithmetic and tie-breaks as the
+/// serial loop, so the tables are **byte-identical for any thread
+/// count**. A per-instance count of 0 (the default) defers to
+/// [`default_dp_threads`].
 #[derive(Debug, Clone, Copy, Default)]
 pub struct OptimalDp {
-    _private: (),
+    dp_threads: usize,
 }
 
 impl OptimalDp {
-    /// Creates the strategy.
+    /// Creates the strategy with the process-wide default thread count.
     pub fn new() -> OptimalDp {
         OptimalDp::default()
+    }
+
+    /// Creates the strategy with an explicit DP worker-thread count
+    /// (0 defers to [`default_dp_threads`] at call time).
+    pub fn with_threads(dp_threads: usize) -> OptimalDp {
+        OptimalDp { dp_threads }
+    }
+
+    /// The thread count this instance will build tables with.
+    fn effective_threads(&self) -> usize {
+        if self.dp_threads == 0 {
+            default_dp_threads()
+        } else {
+            self.dp_threads
+        }
     }
 
     fn key_values(key: OrderingKey, market: &dyn TransitMarket) -> Vec<f64> {
@@ -214,8 +257,23 @@ impl DpTables {
     /// instances recompute scores in the inner loop instead.
     const SCORE_MEMO_MAX_ENTRIES: usize = 1 << 22;
 
-    /// Builds the tables from the order's score-term prefix sums.
-    fn build(terms: &crate::market::ScoreTerms, prefix: &crate::cache::PrefixSums, b_cap: usize) -> DpTables {
+    /// Column-tile width for the parallel row build. Fixed (never derived
+    /// from the thread count) so the tile grid — and with it the work
+    /// each cell does — is identical no matter how many workers run.
+    const TILE_COLUMNS: usize = 256;
+
+    /// Rows narrower than this stay serial: a row must span at least two
+    /// tiles before spawning a scope pays for itself.
+    const PARALLEL_MIN_COLUMNS: usize = 2 * Self::TILE_COLUMNS;
+
+    /// Builds the tables from the order's score-term prefix sums, using
+    /// up to `threads` workers per row.
+    fn build(
+        terms: &crate::market::ScoreTerms,
+        prefix: &crate::cache::PrefixSums,
+        b_cap: usize,
+        threads: usize,
+    ) -> DpTables {
         let pa = &prefix.a;
         let pb = &prefix.b;
         let n = pa.len() - 1;
@@ -245,33 +303,86 @@ impl DpTables {
                 m
             });
 
+        // One cell of row `b`: best (value, parent) over split points
+        // `k`. Identical arithmetic and first-strict-max tie-break on
+        // both the serial and the tiled path — the cell is the unit of
+        // work, so tiling cannot perturb it.
+        let cell = |b: usize, prev: &[f64], j: usize| -> (f64, usize) {
+            let scores = memo.as_ref().map(|m| &m[tri(0, j)..tri(0, j) + j]);
+            let mut best = f64::NEG_INFINITY;
+            let mut par = 0usize;
+            for k in (b - 1)..j {
+                if prev[k] == f64::NEG_INFINITY {
+                    continue;
+                }
+                let s = match scores {
+                    Some(row) => row[k],
+                    None => run_score(k, j),
+                };
+                let cand = prev[k] + s;
+                if cand > best {
+                    best = cand;
+                    par = k;
+                }
+            }
+            (best, par)
+        };
+
+        let threads = threads.max(1);
+        let mut tiles_built = 0u64;
         let mut dp = vec![f64::NEG_INFINITY; (b_cap + 1) * w];
         let mut parent = vec![0usize; (b_cap + 1) * w];
         dp[0] = 0.0;
         for b in 1..=b_cap {
             let (prev_rows, rest) = dp.split_at_mut(b * w);
-            let prev = &prev_rows[(b - 1) * w..];
+            let prev = &prev_rows[(b - 1) * w..(b - 1) * w + w];
             let cur = &mut rest[..w];
             let par = &mut parent[b * w..(b + 1) * w];
-            for j in b..=n {
-                // Last run covers positions k..j.
-                let scores = memo.as_ref().map(|m| &m[tri(0, j)..tri(0, j) + j]);
-                for k in (b - 1)..j {
-                    if prev[k] == f64::NEG_INFINITY {
-                        continue;
-                    }
-                    let s = match scores {
-                        Some(row) => row[k],
-                        None => run_score(k, j),
-                    };
-                    let cand = prev[k] + s;
-                    if cand > cur[j] {
-                        cur[j] = cand;
-                        par[j] = k;
-                    }
+            let columns = n + 1 - b; // valid cells: j in b..=n
+            if threads == 1 || columns < Self::PARALLEL_MIN_COLUMNS {
+                tiles_built += 1;
+                for j in b..=n {
+                    let (v, k) = cell(b, prev, j);
+                    cur[j] = v;
+                    par[j] = k;
                 }
+            } else {
+                // Cut the row's valid columns into fixed-width tiles and
+                // deal them round-robin to workers. Every cell is written
+                // by exactly one worker, into a disjoint `chunks_mut`
+                // slice, so the row's contents equal the serial loop's
+                // regardless of scheduling.
+                // A tile: (first column index, value cells, parent cells).
+                type Tile<'t> = (usize, &'t mut [f64], &'t mut [usize]);
+                let cur_tail = &mut cur[b..=n];
+                let par_tail = &mut par[b..=n];
+                let mut lanes: Vec<Vec<Tile<'_>>> =
+                    (0..threads).map(|_| Vec::new()).collect();
+                for (t, (d, p)) in cur_tail
+                    .chunks_mut(Self::TILE_COLUMNS)
+                    .zip(par_tail.chunks_mut(Self::TILE_COLUMNS))
+                    .enumerate()
+                {
+                    tiles_built += 1;
+                    lanes[t % threads].push((b + t * Self::TILE_COLUMNS, d, p));
+                }
+                let cell = &cell;
+                std::thread::scope(|s| {
+                    for lane in lanes {
+                        s.spawn(move || {
+                            for (j0, d, p) in lane {
+                                for off in 0..d.len() {
+                                    let (v, k) = cell(b, prev, j0 + off);
+                                    d[off] = v;
+                                    p[off] = k;
+                                }
+                            }
+                        });
+                    }
+                });
             }
         }
+        transit_obs::counter!("bundling.dp.tiles").add(tiles_built);
         DpTables {
             n,
             b_cap,
@@ -327,6 +438,7 @@ impl OptimalDp {
         artifacts: &'a crate::cache::MarketArtifacts,
         market: &dyn TransitMarket,
         b_cap: usize,
+        threads: usize,
     ) -> Vec<(&'a [usize], DpTables)> {
         let n = market.n_flows();
         let terms = market.score_terms();
@@ -355,7 +467,7 @@ impl OptimalDp {
                     }
                     crate::cache::PrefixSums { a: pa, b: pb }
                 });
-                (order, DpTables::build(terms, prefix, b_cap))
+                (order, DpTables::build(terms, prefix, b_cap, threads))
             })
             .collect()
     }
@@ -396,7 +508,7 @@ impl BundlingStrategy for OptimalDp {
         // Sort orders depend only on the fitted market, so they are shared
         // across instances via the process-wide fingerprint cache.
         let artifacts = crate::cache::artifacts_for(market);
-        let passes = Self::build_passes(&artifacts, market, n_bundles);
+        let passes = Self::build_passes(&artifacts, market, n_bundles, self.effective_threads());
         let (pi, blocks) = Self::pick(&passes, n_bundles);
         let (order, tables) = &passes[pi];
         Bundling::new(tables.reconstruct(order, blocks), n_bundles)
@@ -418,7 +530,7 @@ impl BundlingStrategy for OptimalDp {
         transit_obs::counter!("bundling.dp.builds").inc();
         let artifacts = crate::cache::artifacts_for(market);
         // One table build per ordering covers every bundle count.
-        let passes = Self::build_passes(&artifacts, market, max_bundles);
+        let passes = Self::build_passes(&artifacts, market, max_bundles, self.effective_threads());
         (1..=max_bundles)
             .map(|b| {
                 let (pi, blocks) = Self::pick(&passes, b);
@@ -584,6 +696,28 @@ mod tests {
             Err(TransitError::InstanceTooLarge { .. }) => {}
             other => panic!("expected InstanceTooLarge, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn tiled_dp_is_byte_identical_across_thread_counts() {
+        // Wide enough that rows split into several 256-column tiles.
+        let fs = flows(23, 600);
+        let m = ced(&fs);
+        let baseline = OptimalDp::with_threads(1).bundle_series(&m, 6).unwrap();
+        for threads in [2usize, 8] {
+            let tiled = OptimalDp::with_threads(threads).bundle_series(&m, 6).unwrap();
+            assert_eq!(baseline, tiled, "dp_threads={threads} diverged");
+        }
+    }
+
+    #[test]
+    fn default_dp_threads_round_trips_and_clamps() {
+        let before = default_dp_threads();
+        set_default_dp_threads(3);
+        assert_eq!(default_dp_threads(), 3);
+        set_default_dp_threads(0);
+        assert_eq!(default_dp_threads(), 1);
+        set_default_dp_threads(before);
     }
 
     #[test]

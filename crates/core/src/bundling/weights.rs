@@ -36,10 +36,25 @@ impl WeightKind {
 
     /// Computes the per-flow weights for a market. All weights are finite
     /// and strictly positive.
+    ///
+    /// Demand and potential-profit weights are already group sums on a
+    /// coalesced market; inverse cost is a per-flow quantity, so it is
+    /// scaled by each entry's
+    /// [multiplicity](TransitMarket::flow_multiplicities) (a group of `w`
+    /// identical flows weighs `w/c`). A multiplicity of 1 leaves the raw
+    /// `1/c` bitwise unchanged.
     pub fn weights(self, market: &dyn TransitMarket) -> Result<Vec<f64>> {
         let ws = match self {
             WeightKind::Demand => market.demands().to_vec(),
-            WeightKind::InverseCost => market.costs().iter().map(|&c| 1.0 / c).collect(),
+            WeightKind::InverseCost => match market.flow_multiplicities() {
+                None => market.costs().iter().map(|&c| 1.0 / c).collect(),
+                Some(mult) => market
+                    .costs()
+                    .iter()
+                    .zip(mult)
+                    .map(|(&c, &w)| w as f64 / c)
+                    .collect(),
+            },
             WeightKind::PotentialProfit => market.potential_profits().to_vec(),
         };
         for (i, w) in ws.iter().enumerate() {

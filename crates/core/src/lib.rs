@@ -64,6 +64,7 @@
 pub mod bundling;
 pub mod cache;
 pub mod capture;
+pub mod coalesce;
 pub mod cost;
 pub mod demand;
 pub mod error;
@@ -78,6 +79,7 @@ pub mod stats;
 
 pub use bundling::{Bundling, BundlingStrategy, StrategyKind};
 pub use capture::{capture_curve, capture_for_bundling, capture_for_strategy};
+pub use coalesce::CoalescedMarket;
 pub use cost::{CostFamily, CostModel};
 pub use demand::DemandFamily;
 pub use error::{Result, TransitError};

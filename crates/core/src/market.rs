@@ -100,6 +100,32 @@ impl ScoreTerms {
         }
     }
 
+    /// Collapses per-flow terms into per-group terms by summing members
+    /// (the bundle-aggregation identities are member sums, so a group of
+    /// flows scores exactly like the flows themselves). Members are added
+    /// sequentially in the given order, so a singleton group's terms are
+    /// bitwise its flow's terms. Used by
+    /// [`CoalescedMarket`](crate::coalesce::CoalescedMarket).
+    pub fn grouped(&self, groups: &[Vec<u32>]) -> ScoreTerms {
+        let mut a = Vec::with_capacity(groups.len());
+        let mut b = Vec::with_capacity(groups.len());
+        for members in groups {
+            let mut sa = 0.0;
+            let mut sb = 0.0;
+            for &i in members {
+                sa += self.a[i as usize];
+                sb += self.b[i as usize];
+            }
+            a.push(sa);
+            b.push(sb);
+        }
+        ScoreTerms {
+            a,
+            b,
+            kind: self.kind,
+        }
+    }
+
     /// Score of an explicit member set (O(members)).
     pub fn score_of(&self, members: &[usize]) -> f64 {
         let mut sa = 0.0;
@@ -159,6 +185,15 @@ pub trait TransitMarket: Send + Sync {
     /// Additive bundle score of a member set (see module docs).
     fn bundle_score(&self, members: &[usize]) -> f64 {
         self.score_terms().score_of(members)
+    }
+
+    /// How many raw flows each entry stands for, when this market is a
+    /// coalesced view ([`CoalescedMarket`](crate::coalesce::CoalescedMarket)).
+    /// `None` (the default) means every flow counts once. Count-sensitive
+    /// heuristics (per-flow weights, rank splits) consult this so group
+    /// weights reflect group size.
+    fn flow_multiplicities(&self) -> Option<&[u64]> {
+        None
     }
 }
 

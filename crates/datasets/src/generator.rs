@@ -150,6 +150,86 @@ pub fn generate(network: Network, n_flows: usize, seed: u64) -> Dataset {
     }
 }
 
+/// Generates a replicated large-scale dataset: `n_distinct` base flows
+/// (drawn exactly as [`generate`] would) cloned `replication` times each,
+/// with demand split evenly across replicas so the aggregate still
+/// matches Table 1 and every replica of a base flow carries
+/// bitwise-identical `(demand, distance)` — the intended input shape for
+/// ε = 0 flow coalescing, which compresses the
+/// `n_distinct × replication` flows back to ~`n_distinct` groups.
+///
+/// Endpoint addresses stay GeoIP-consistent (same /16 as the base flow's
+/// cities) but are unique per replica: the global flow index is split
+/// across the src/dst host bits, giving ~2³² collision-free pairs per
+/// city pair, so the NetFlow pipeline measures every replica as its own
+/// flow instead of merging them at the traffic-matrix stage.
+pub fn generate_replicated(
+    network: Network,
+    n_distinct: usize,
+    replication: usize,
+    seed: u64,
+) -> Dataset {
+    assert!(replication >= 1, "replication factor must be >= 1");
+    let base = generate(network, n_distinct, seed);
+    if replication == 1 {
+        return base;
+    }
+    let n_total = n_distinct
+        .checked_mul(replication)
+        .expect("total flow count fits usize");
+    assert!(n_total <= u32::MAX as usize, "flow ids are u32");
+    let geoip = GeoIpDb::world();
+    // Memoize each city's representative /16 — `representative_addr`
+    // scans the whole block table, and the distinct-city set is tiny.
+    let mut bases: std::collections::HashMap<String, u32> = std::collections::HashMap::new();
+    let mut base_of = |city: &str| -> u32 {
+        if let Some(&b) = bases.get(city) {
+            return b;
+        }
+        let b = u32::from(
+            geoip
+                .representative_addr(city)
+                .expect("pool cities exist in the GeoIP database"),
+        ) & 0xFFFF_0000;
+        bases.insert(city.to_string(), b);
+        b
+    };
+    let mut flows = Vec::with_capacity(n_total);
+    let mut cities = Vec::with_capacity(n_total);
+    let mut endpoints = Vec::with_capacity(n_total);
+    for (i, flow) in base.flows.iter().enumerate() {
+        let q = flow.demand_mbps / replication as f64;
+        let src_base = base_of(&base.cities[i].0);
+        let dst_base = base_of(&base.cities[i].1);
+        for r in 0..replication {
+            let idx = (i * replication + r) as u32;
+            flows.push(TrafficFlow::new(idx, q, flow.distance_miles).with_region(flow.region));
+            cities.push(base.cities[i].clone());
+            endpoints.push(replica_endpoint_addrs(src_base, dst_base, idx));
+        }
+    }
+    Dataset {
+        network,
+        flows,
+        cities,
+        endpoints,
+    }
+}
+
+/// Endpoint addresses for a replica: the city /16 bases with the global
+/// flow index split across the src/dst host bits (base-0xFFFE digits),
+/// unique for any index below 0xFFFE² ≈ 4.3 × 10⁹ — unlike
+/// [`endpoint_addrs`], whose single-host scheme wraps at 65 534 flows
+/// per city pair.
+fn replica_endpoint_addrs(src_base: u32, dst_base: u32, flow_idx: u32) -> (Ipv4Addr, Ipv4Addr) {
+    let lo = (flow_idx % 0xFFFE) + 1;
+    let hi = ((flow_idx / 0xFFFE) % 0xFFFE) + 1;
+    (
+        Ipv4Addr::from(src_base | (lo & 0xFFFF)),
+        Ipv4Addr::from(dst_base | (hi & 0xFFFF)),
+    )
+}
+
 /// Snaps a target distance to one of the 3 nearest candidates (random
 /// among them so repeated targets spread over geography).
 fn nearest_candidate<'a, R: Rng>(
@@ -475,6 +555,56 @@ mod tests {
             .filter(|f| f.distance_miles > 500.0)
             .count();
         assert!(long as f64 / 500.0 > 0.6, "CDN is long-haul dominated");
+    }
+
+    #[test]
+    fn replicated_dataset_duplicates_exactly() {
+        let ds = generate_replicated(Network::EuIsp, 50, 8, 42);
+        assert_eq!(ds.flows.len(), 400);
+        let base = generate(Network::EuIsp, 50, 42);
+        for (i, f) in base.flows.iter().enumerate() {
+            let q = f.demand_mbps / 8.0;
+            for r in 0..8 {
+                let rep = &ds.flows[i * 8 + r];
+                assert_eq!(rep.demand_mbps.to_bits(), q.to_bits(), "flow {i} rep {r}");
+                assert_eq!(rep.distance_miles.to_bits(), f.distance_miles.to_bits());
+                assert_eq!(rep.region, f.region);
+            }
+        }
+        transit_core::flow::validate_flows(&ds.flows).unwrap();
+    }
+
+    #[test]
+    fn replication_of_one_is_the_base_dataset() {
+        let a = generate(Network::Internet2, 80, 9);
+        let b = generate_replicated(Network::Internet2, 80, 1, 9);
+        assert_eq!(a.flows, b.flows);
+        assert_eq!(a.endpoints, b.endpoints);
+    }
+
+    #[test]
+    fn replicated_endpoints_are_unique_past_the_host_wrap() {
+        // 40 × 2000 = 80k flows exceeds the 65 534-host space of a single
+        // /16 pair; the two-digit host scheme must stay collision-free.
+        let ds = generate_replicated(Network::EuIsp, 40, 2000, 7);
+        let unique: std::collections::HashSet<_> = ds.endpoints.iter().collect();
+        assert_eq!(unique.len(), ds.endpoints.len());
+        let geoip = GeoIpDb::world();
+        for i in [0usize, 1, 65_533, 65_534, 65_535, 79_999] {
+            let (src, dst) = ds.endpoints[i];
+            let (sc, dc) = &ds.cities[i];
+            assert_eq!(&geoip.lookup(src).unwrap().city, sc, "flow {i} src");
+            assert_eq!(&geoip.lookup(dst).unwrap().city, dc, "flow {i} dst");
+        }
+    }
+
+    #[test]
+    fn replication_preserves_aggregate_demand() {
+        let base = generate(Network::Cdn, 60, 5);
+        let rep = generate_replicated(Network::Cdn, 60, 16, 5);
+        let a: f64 = base.flows.iter().map(|f| f.demand_mbps).sum();
+        let b: f64 = rep.flows.iter().map(|f| f.demand_mbps).sum();
+        assert!((a - b).abs() / a < 1e-12, "{a} vs {b}");
     }
 
     #[test]

@@ -29,7 +29,7 @@ pub mod pipeline;
 pub mod pricelists;
 pub mod spec;
 
-pub use generator::{generate, Dataset};
+pub use generator::{generate, generate_replicated, Dataset};
 pub use io::{read_flows_csv, write_flows_csv, CsvError};
 pub use pipeline::{run_pipeline, PipelineConfig, PipelineOutput};
 pub use pricelists::{combined_pricelist, itu_pricelist, ntt_pricelist, PriceList};

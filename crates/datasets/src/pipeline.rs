@@ -28,6 +28,10 @@ pub struct PipelineConfig {
     pub window_secs: f64,
     /// Simulated packet size, bytes.
     pub packet_bytes: u32,
+    /// Collector flow-map shards for parallel ingest (1 = serial). The
+    /// collector state is identical for any shard count; see
+    /// [`transit_netflow::Collector::ingest_batch`].
+    pub ingest_shards: usize,
 }
 
 impl Default for PipelineConfig {
@@ -37,6 +41,7 @@ impl Default for PipelineConfig {
             routers_on_path: 3,
             window_secs: 60.0,
             packet_bytes: 1_500,
+            ingest_shards: 1,
         }
     }
 }
@@ -90,16 +95,17 @@ pub fn run_pipeline(dataset: &Dataset, config: PipelineConfig) -> PipelineOutput
         }
     }
 
-    // Export and collect.
-    let mut collector = Collector::new();
-    for e in &mut exporters {
-        for pkt in e.flush(0) {
-            collector
-                .ingest(&pkt.encode())
-                .expect("self-generated datagrams decode");
-        }
-    }
-    let (datagrams, _, _) = collector.stats();
+    // Export and collect: flush every router's cache to wire datagrams,
+    // then ingest the whole batch through the (optionally sharded)
+    // collector — identical state to serial ingestion for any shard count.
+    let wire: Vec<_> = exporters
+        .iter_mut()
+        .flat_map(|e| e.flush(0).into_iter().map(|pkt| pkt.encode()))
+        .collect();
+    let mut collector = Collector::with_shards(config.ingest_shards);
+    collector.ingest_batch(&wire);
+    let (datagrams, _, decode_errors) = collector.stats();
+    assert_eq!(decode_errors, 0, "self-generated datagrams decode");
     transit_obs::counter!("datasets.pipeline.measured_datagrams").add(datagrams);
 
     // Aggregate to a traffic matrix and re-attach ground-truth distances
@@ -154,6 +160,7 @@ mod tests {
                 routers_on_path: 2,
                 window_secs: 1.0,
                 packet_bytes: 1_500,
+                ingest_shards: 1,
             },
         );
         // Every flow big enough to emit at least one packet in the window
@@ -189,6 +196,7 @@ mod tests {
                 routers_on_path: 1,
                 window_secs: 1.0,
                 packet_bytes: 1_500,
+                ingest_shards: 1,
             },
         );
         let three = run_pipeline(
@@ -198,6 +206,7 @@ mod tests {
                 routers_on_path: 3,
                 window_secs: 1.0,
                 packet_bytes: 1_500,
+                ingest_shards: 1,
             },
         );
         let total = |o: &PipelineOutput| -> f64 {
@@ -221,6 +230,7 @@ mod tests {
                     routers_on_path: 1,
                     window_secs: 1.0,
                     packet_bytes: 1_500,
+                    ingest_shards: 1,
                 },
             );
             let measured: f64 = out.measured_flows.iter().map(|f| f.demand_mbps).sum();
@@ -230,6 +240,24 @@ mod tests {
         // percent even at high rates (large flows dominate).
         assert!(err_at(100) < 0.10, "1-in-100 error {}", err_at(100));
         assert!(err_at(10) <= err_at(100) + 0.02);
+    }
+
+    #[test]
+    fn sharded_ingest_matches_serial_pipeline() {
+        let ds = small_dataset();
+        let serial = run_pipeline(&ds, PipelineConfig::default());
+        for shards in [2, 4, 8] {
+            let sharded = run_pipeline(
+                &ds,
+                PipelineConfig {
+                    ingest_shards: shards,
+                    ..PipelineConfig::default()
+                },
+            );
+            assert_eq!(serial.measured_flows, sharded.measured_flows, "{shards} shards");
+            assert_eq!(serial.datagrams, sharded.datagrams);
+            assert_eq!(serial.offered_bytes, sharded.offered_bytes);
+        }
     }
 
     #[test]

@@ -25,6 +25,11 @@ pub struct ExperimentConfig {
     /// Sweep-engine worker threads (`0` = one per available core).
     /// Results are identical for every value; see `engine`.
     pub jobs: usize,
+    /// Intra-market DP table-build threads (`--dp-threads`, `0` = one per
+    /// available core). Composes with item-level `jobs`; the tiled build
+    /// is byte-identical for every value (see
+    /// `transit_core::bundling::OptimalDp`).
+    pub dp_threads: usize,
     /// Observability collection level (`--log-level`). Figure output is
     /// identical at every level; this only gates span collection.
     pub log_level: transit_obs::Level,
@@ -45,6 +50,7 @@ impl Default for ExperimentConfig {
             s0: 0.2,
             max_bundles: 6,
             jobs: 0,
+            dp_threads: 1,
             log_level: transit_obs::Level::Info,
             profile: None,
         }

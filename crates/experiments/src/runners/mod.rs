@@ -31,6 +31,14 @@ pub const EXTENSION_IDS: [&str; 5] = ["ext1", "ext2", "ext3", "ext4", "summary"]
 pub fn run(id: &str, config: &ExperimentConfig) -> Result<Option<ExperimentResult>> {
     let _span = transit_obs::span!("experiment", id = id);
     transit_obs::counter!("experiments.runs").inc();
+    let dp_threads = if config.dp_threads == 0 {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    } else {
+        config.dp_threads
+    };
+    transit_core::bundling::set_default_dp_threads(dp_threads);
     Ok(Some(match id {
         "fig1" => illustrations::fig1()?,
         "fig2" => illustrations::fig2()?,

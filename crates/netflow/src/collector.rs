@@ -9,11 +9,35 @@
 //! every on-path router observes the complete flow (modulo sampling
 //! noise), so the max is an unbiased single-observation estimate while a
 //! sum would multiply true volume by the hop count.
+//!
+//! ## Sharded ingest
+//!
+//! At million-flow scale the flow map dominates ingest time, so the
+//! collector hash-partitions flows across `S` shards
+//! ([`Collector::with_shards`]). [`Collector::ingest_batch`] decodes
+//! datagrams **serially in arrival order** (sequence-gap loss accounting
+//! is order-sensitive), then aggregates the partitioned records into the
+//! shard maps in parallel with scoped threads. Shard assignment depends
+//! only on the flow key, and [`Collector::measured_flows`] sorts its
+//! output, so results are identical for any shard count and any thread
+//! interleaving.
 
 use std::collections::HashMap;
 
 use crate::key::{FlowKey, MeasuredFlow};
 use crate::record::{DecodeError, V5Packet};
+
+/// Registry counter: export datagrams ingested.
+pub const DATAGRAMS_COUNTER: &str = "netflow.collector.datagrams";
+/// Registry counter: flow records ingested.
+pub const RECORDS_COUNTER: &str = "netflow.collector.records";
+/// Registry counter: malformed datagrams dropped.
+pub const DECODE_ERRORS_COUNTER: &str = "netflow.collector.decode_errors";
+/// Registry counter: records known lost to export-datagram drops
+/// (per-router sequence gaps).
+pub const LOST_RECORDS_COUNTER: &str = "netflow.collector.lost_records";
+/// Registry counter: records routed through the sharded batch path.
+pub const SHARDED_RECORDS_COUNTER: &str = "netflow.collector.sharded_records";
 
 /// Per-router observation of one flow.
 #[derive(Debug, Clone, Copy, Default)]
@@ -22,11 +46,40 @@ struct Observation {
     packets: u64,
 }
 
+/// One shard's flow map: flow key → router (engine id) → totals.
+type FlowShard = HashMap<FlowKey, HashMap<u8, Observation>>;
+
+/// Deterministic shard of a flow key: FNV-1a over the 13 key bytes with
+/// a splitmix64 finalizer, reduced mod `n_shards`. Depends only on the
+/// key, so re-sharding a stream re-partitions but never splits a flow.
+fn shard_index(key: &FlowKey, n_shards: usize) -> usize {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mut eat = |b: u8| {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    };
+    for b in key.src_addr.octets() {
+        eat(b);
+    }
+    for b in key.dst_addr.octets() {
+        eat(b);
+    }
+    eat((key.src_port >> 8) as u8);
+    eat(key.src_port as u8);
+    eat((key.dst_port >> 8) as u8);
+    eat(key.dst_port as u8);
+    eat(key.protocol);
+    h = (h ^ (h >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    h = (h ^ (h >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    h ^= h >> 31;
+    (h % n_shards as u64) as usize
+}
+
 /// A NetFlow collector with cross-router deduplication.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Collector {
-    /// flow key → router (engine id) → de-sampled totals.
-    flows: HashMap<FlowKey, HashMap<u8, Observation>>,
+    /// Hash-partitioned flow maps (always at least one shard).
+    shards: Vec<FlowShard>,
     /// router → next expected flow_sequence (export loss detection:
     /// v5 headers carry a running record count, so a gap means a dropped
     /// export datagram between this one and the previous).
@@ -38,10 +91,42 @@ pub struct Collector {
     decode_errors: u64,
 }
 
+impl Default for Collector {
+    fn default() -> Collector {
+        Collector::with_shards(1)
+    }
+}
+
 impl Collector {
-    /// Creates an empty collector.
+    /// Creates an empty single-shard collector.
     pub fn new() -> Collector {
         Collector::default()
+    }
+
+    /// Creates an empty collector with `n_shards` hash-partitioned flow
+    /// maps (clamped to at least 1). Measured output is independent of
+    /// the shard count; shards only bound the parallelism of
+    /// [`Collector::ingest_batch`].
+    pub fn with_shards(n_shards: usize) -> Collector {
+        Collector {
+            shards: (0..n_shards.max(1)).map(|_| FlowShard::new()).collect(),
+            next_sequence: HashMap::new(),
+            lost: HashMap::new(),
+            datagrams: 0,
+            records: 0,
+            decode_errors: 0,
+        }
+    }
+
+    /// Number of hash shards.
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Distinct flows currently held by each shard, in shard order —
+    /// the occupancy balance of the hash partition.
+    pub fn shard_occupancy(&self) -> Vec<usize> {
+        self.shards.iter().map(|s| s.len()).collect()
     }
 
     /// Ingests one raw export datagram. Malformed datagrams are counted
@@ -51,19 +136,17 @@ impl Collector {
             Ok(p) => p,
             Err(e) => {
                 self.decode_errors += 1;
-                transit_obs::counter!("netflow.collector.decode_errors").inc();
+                transit_obs::counter!(DECODE_ERRORS_COUNTER).inc();
                 return Err(e);
             }
         };
         Ok(self.ingest_packet(&packet))
     }
 
-    /// Ingests an already-decoded packet; returns the record count.
-    pub fn ingest_packet(&mut self, packet: &V5Packet) -> usize {
-        let rate = packet.header.sampling_rate() as u64;
+    /// Header bookkeeping for one packet: loss detection from the running
+    /// flow sequence plus datagram/record tallies (local and registry).
+    fn account_packet(&mut self, packet: &V5Packet) {
         let router = packet.header.engine_id;
-
-        // Export-loss detection via the header's running flow sequence.
         let seq = packet.header.flow_sequence;
         match self.next_sequence.get(&router) {
             Some(&expected) => {
@@ -72,7 +155,7 @@ impl Collector {
                 // loss (a restarted exporter resets its sequence).
                 if gap > 0 && gap < u32::MAX / 2 {
                     *self.lost.entry(router).or_default() += gap as u64;
-                    transit_obs::counter!("netflow.collector.lost_records").add(gap as u64);
+                    transit_obs::counter!(LOST_RECORDS_COUNTER).add(gap as u64);
                 }
             }
             None => {
@@ -81,30 +164,95 @@ impl Collector {
         }
         self.next_sequence
             .insert(router, seq.wrapping_add(packet.records.len() as u32));
-
-        for r in &packet.records {
-            let key = FlowKey::from_record(r);
-            let obs = self
-                .flows
-                .entry(key)
-                .or_default()
-                .entry(router)
-                .or_default();
-            obs.bytes += r.octets as u64 * rate;
-            obs.packets += r.packets as u64 * rate;
-        }
         self.datagrams += 1;
         self.records += packet.records.len() as u64;
         // Registry mirrors of the per-collector tallies: process-wide
         // ingest volume for the run manifest.
-        transit_obs::counter!("netflow.collector.datagrams").inc();
-        transit_obs::counter!("netflow.collector.records").add(packet.records.len() as u64);
+        transit_obs::counter!(DATAGRAMS_COUNTER).inc();
+        transit_obs::counter!(RECORDS_COUNTER).add(packet.records.len() as u64);
+    }
+
+    /// Ingests an already-decoded packet; returns the record count.
+    pub fn ingest_packet(&mut self, packet: &V5Packet) -> usize {
+        let rate = packet.header.sampling_rate() as u64;
+        let router = packet.header.engine_id;
+        self.account_packet(packet);
+
+        let n_shards = self.shards.len();
+        for r in &packet.records {
+            let key = FlowKey::from_record(r);
+            let shard = &mut self.shards[shard_index(&key, n_shards)];
+            let obs = shard.entry(key).or_default().entry(router).or_default();
+            obs.bytes += r.octets as u64 * rate;
+            obs.packets += r.packets as u64 * rate;
+        }
         packet.records.len()
+    }
+
+    /// Ingests a batch of raw datagrams through the sharded parallel
+    /// path; returns the record count.
+    ///
+    /// Decoding and sequence accounting run serially in slice order
+    /// (identical to calling [`Collector::ingest`] per datagram —
+    /// malformed datagrams are counted in
+    /// [`CollectorStats`]/[`Collector::stats`] rather than returned);
+    /// the decoded records are then hash-partitioned by flow key and
+    /// folded into the shard maps by one scoped worker per shard. Since
+    /// a flow's records all land in one shard and per-shard insertion
+    /// order only permutes commutative `u64 +=` updates, the resulting
+    /// state is identical to serial ingestion.
+    pub fn ingest_batch<D: AsRef<[u8]>>(&mut self, datagrams: &[D]) -> usize {
+        let n_shards = self.shards.len();
+        let mut buckets: Vec<Vec<(FlowKey, u8, u64, u64)>> =
+            (0..n_shards).map(|_| Vec::new()).collect();
+        let mut ingested = 0usize;
+        for datagram in datagrams {
+            let packet = match V5Packet::decode(datagram.as_ref()) {
+                Ok(p) => p,
+                Err(_) => {
+                    self.decode_errors += 1;
+                    transit_obs::counter!(DECODE_ERRORS_COUNTER).inc();
+                    continue;
+                }
+            };
+            let rate = packet.header.sampling_rate() as u64;
+            let router = packet.header.engine_id;
+            self.account_packet(&packet);
+            ingested += packet.records.len();
+            for r in &packet.records {
+                let key = FlowKey::from_record(r);
+                buckets[shard_index(&key, n_shards)].push((
+                    key,
+                    router,
+                    r.octets as u64 * rate,
+                    r.packets as u64 * rate,
+                ));
+            }
+        }
+        transit_obs::counter!(SHARDED_RECORDS_COUNTER).add(ingested as u64);
+
+        fn fold(shard: &mut FlowShard, bucket: Vec<(FlowKey, u8, u64, u64)>) {
+            for (key, router, bytes, packets) in bucket {
+                let obs = shard.entry(key).or_default().entry(router).or_default();
+                obs.bytes += bytes;
+                obs.packets += packets;
+            }
+        }
+        if n_shards == 1 {
+            fold(&mut self.shards[0], buckets.pop().expect("one shard"));
+        } else {
+            std::thread::scope(|s| {
+                for (shard, bucket) in self.shards.iter_mut().zip(buckets) {
+                    s.spawn(move || fold(shard, bucket));
+                }
+            });
+        }
+        ingested
     }
 
     /// Number of distinct flows observed.
     pub fn flow_count(&self) -> usize {
-        self.flows.len()
+        self.shards.iter().map(|s| s.len()).sum()
     }
 
     /// (datagrams, records, decode errors) ingested so far.
@@ -128,8 +276,9 @@ impl Collector {
     /// estimate (see module docs). Sorted by key for determinism.
     pub fn measured_flows(&self) -> Vec<MeasuredFlow> {
         let mut out: Vec<MeasuredFlow> = self
-            .flows
+            .shards
             .iter()
+            .flat_map(|s| s.iter())
             .map(|(key, per_router)| {
                 let best = per_router
                     .values()
@@ -152,8 +301,9 @@ impl Collector {
     /// and tests.
     pub fn summed_flows(&self) -> Vec<MeasuredFlow> {
         let mut out: Vec<MeasuredFlow> = self
-            .flows
+            .shards
             .iter()
+            .flat_map(|s| s.iter())
             .map(|(key, per_router)| {
                 let (bytes, packets) = per_router
                     .values()
@@ -167,6 +317,52 @@ impl Collector {
             .collect();
         out.sort_by_key(|f| f.key);
         out
+    }
+}
+
+/// Point-in-time ingest totals read from the `transit-obs` metrics
+/// registry, mirroring `transit-core`'s `CacheStats` semantics: the
+/// raw values are process-lifetime sums across *every* collector, so
+/// assertions and reports should scope with a baseline —
+/// [`CollectorStats::snapshot`] before the work, then
+/// [`CollectorStats::delta_since`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CollectorStats {
+    /// Export datagrams ingested.
+    pub datagrams: u64,
+    /// Flow records ingested.
+    pub records: u64,
+    /// Malformed datagrams dropped.
+    pub decode_errors: u64,
+    /// Records known lost to dropped export datagrams (sequence gaps).
+    pub lost_records: u64,
+    /// Records routed through the sharded batch path.
+    pub sharded_records: u64,
+}
+
+impl CollectorStats {
+    /// Reads the current process-lifetime totals.
+    pub fn snapshot() -> CollectorStats {
+        CollectorStats {
+            datagrams: transit_obs::metrics::counter(DATAGRAMS_COUNTER).get(),
+            records: transit_obs::metrics::counter(RECORDS_COUNTER).get(),
+            decode_errors: transit_obs::metrics::counter(DECODE_ERRORS_COUNTER).get(),
+            lost_records: transit_obs::metrics::counter(LOST_RECORDS_COUNTER).get(),
+            sharded_records: transit_obs::metrics::counter(SHARDED_RECORDS_COUNTER).get(),
+        }
+    }
+
+    /// Activity between `baseline` and this snapshot (saturating, so a
+    /// registry reset between the two reads as zero rather than
+    /// wrapping).
+    pub fn delta_since(&self, baseline: &CollectorStats) -> CollectorStats {
+        CollectorStats {
+            datagrams: self.datagrams.saturating_sub(baseline.datagrams),
+            records: self.records.saturating_sub(baseline.records),
+            decode_errors: self.decode_errors.saturating_sub(baseline.decode_errors),
+            lost_records: self.lost_records.saturating_sub(baseline.lost_records),
+            sharded_records: self.sharded_records.saturating_sub(baseline.sharded_records),
+        }
     }
 }
 
@@ -338,5 +534,95 @@ mod tests {
         assert_eq!(datagrams, 2);
         assert_eq!(records, 8);
         assert_eq!(errors, 0);
+    }
+
+    /// Encoded datagrams carrying `n_flows` distinct flows from 2 routers.
+    fn wire_batch(n_flows: u32) -> Vec<Vec<u8>> {
+        let mut out = Vec::new();
+        for router in 0..2u8 {
+            let mut e = Exporter::new(router, SystematicSampler::new(1));
+            for i in 0..n_flows {
+                e.observe_packets(key(i), 3, 500);
+            }
+            for p in e.flush(0) {
+                out.push(p.encode().to_vec());
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn sharded_batch_matches_serial_ingest_for_any_shard_count() {
+        let batch = wire_batch(200);
+        let mut serial = Collector::new();
+        for d in &batch {
+            serial.ingest(d).unwrap();
+        }
+        for shards in [1usize, 2, 3, 8] {
+            let mut sharded = Collector::with_shards(shards);
+            let n = sharded.ingest_batch(&batch);
+            assert_eq!(n, 400, "records with {shards} shards");
+            assert_eq!(sharded.measured_flows(), serial.measured_flows());
+            assert_eq!(sharded.summed_flows(), serial.summed_flows());
+            assert_eq!(sharded.flow_count(), serial.flow_count());
+            assert_eq!(sharded.stats(), serial.stats());
+            assert_eq!(sharded.lost_records(), serial.lost_records());
+        }
+    }
+
+    #[test]
+    fn shard_occupancy_covers_all_flows() {
+        let mut c = Collector::with_shards(4);
+        c.ingest_batch(&wire_batch(100));
+        let occ = c.shard_occupancy();
+        assert_eq!(occ.len(), 4);
+        assert_eq!(occ.iter().sum::<usize>(), c.flow_count());
+        // FNV spreads 100 keys over 4 shards: no shard may hold everything.
+        assert!(occ.iter().all(|&o| o < 100));
+    }
+
+    #[test]
+    fn batch_ingest_counts_decode_errors_and_keeps_going() {
+        let mut batch = wire_batch(10);
+        batch.insert(1, vec![0u8; 7]);
+        let mut c = Collector::with_shards(2);
+        let n = c.ingest_batch(&batch);
+        assert_eq!(n, 20);
+        let (_, _, errors) = c.stats();
+        assert_eq!(errors, 1);
+        assert_eq!(c.flow_count(), 10);
+    }
+
+    #[test]
+    fn batch_ingest_detects_sequence_gaps() {
+        let mut e = Exporter::new(5, SystematicSampler::new(1));
+        for i in 0..90u32 {
+            e.observe_packet(key(i), 100);
+        }
+        let pkts = e.flush(0);
+        assert_eq!(pkts.len(), 3);
+        // Drop the middle datagram from the batch.
+        let batch = vec![pkts[0].encode(), pkts[2].encode()];
+        let mut c = Collector::with_shards(4);
+        c.ingest_batch(&batch);
+        assert_eq!(c.lost_records(), 30);
+    }
+
+    #[test]
+    fn collector_stats_snapshot_delta_tracks_batch() {
+        let batch = wire_batch(25);
+        let before = CollectorStats::snapshot();
+        let mut c = Collector::with_shards(2);
+        c.ingest_batch(&batch);
+        let delta = CollectorStats::snapshot().delta_since(&before);
+        assert!(delta.datagrams >= batch.len() as u64);
+        assert!(delta.records >= 50);
+        assert!(delta.sharded_records >= 50);
+    }
+
+    #[test]
+    fn zero_shards_clamps_to_one() {
+        let c = Collector::with_shards(0);
+        assert_eq!(c.n_shards(), 1);
     }
 }

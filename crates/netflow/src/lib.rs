@@ -23,7 +23,7 @@ pub mod record;
 pub mod sampler;
 pub mod timed;
 
-pub use collector::Collector;
+pub use collector::{Collector, CollectorStats};
 pub use exporter::Exporter;
 pub use key::{FlowKey, MeasuredFlow};
 pub use matrix::{DemandEntry, TrafficMatrix};

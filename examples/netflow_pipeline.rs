@@ -27,6 +27,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         routers_on_path: 3,
         window_secs: 60.0,
         packet_bytes: 1500,
+        ingest_shards: 1,
     };
     let out = run_pipeline(&dataset, config);
     let measured_mbps: f64 = out.measured_flows.iter().map(|f| f.demand_mbps).sum();

@@ -11,10 +11,22 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== tests (workspace) =="
 cargo test --workspace -q
 
-# Perf gate: measure fresh and compare against the committed
-# BENCH_sweep.json. Fails if items_per_sec_jobs1 drops >20% or the
-# one-pass capture kernel loses its >=5x win; the parallel-speedup
-# assertion is skipped automatically on single-core machines. To accept
+# Bounded large-n smoke: the full generate → sharded ingest → fit →
+# coalesce → bundle path at 100k raw flows must finish inside a generous
+# wall-clock budget (it takes ~1s on a dev laptop; the budget only
+# catches complexity regressions, not machine variance) and must keep
+# its structural invariants (≥90% of raw flows measured, coalesce ratio
+# ≥ half the replication factor).
+echo "== large-n smoke (100k coalesced end-to-end, 120s budget) =="
+cargo run --release -q -p transit-bench --bin sweep_smoke -- --smoke 100000 120
+
+# Perf gate (schema v3): measure fresh and compare against the committed
+# BENCH_sweep.json. Fails if items_per_sec_jobs1 drops >20%, the
+# one-pass capture kernel loses its >=5x win, or the million-flow path
+# loses its structural invariants; the parallel-speedup assertions are
+# skipped automatically on single-core machines and compared
+# like-for-like (a single-core baseline is never used as a scaling
+# reference). v2 baselines still gate the sections they have. To accept
 # an intended perf change, regenerate the baseline with
 #   cargo run --release -p transit-bench --bin sweep_smoke -- BENCH_sweep.json
 # and commit the result.

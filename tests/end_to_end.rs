@@ -28,6 +28,7 @@ fn measured_market_reaches_same_conclusions_as_truth() {
             routers_on_path: 3,
             window_secs: 60.0,
             packet_bytes: 1500,
+            ingest_shards: 1,
         },
     );
     assert!(out.measured_flows.len() >= 55, "few flows lost to sampling");

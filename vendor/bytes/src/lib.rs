@@ -91,6 +91,12 @@ impl Deref for Bytes {
     }
 }
 
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
 impl From<Vec<u8>> for Bytes {
     fn from(data: Vec<u8>) -> Bytes {
         Bytes { data, pos: 0 }
