@@ -1,0 +1,185 @@
+//! Fault injection for the NetFlow ingest path.
+//!
+//! Faults mutate an already-encoded datagram stream (`Vec<Vec<u8>>`), so
+//! they compose with any exporter and reach the collector exactly the way
+//! wire damage would: truncated datagrams, corrupt header/record bytes,
+//! reordered and duplicated exports, and dropped packets (which open
+//! sequence gaps). All positions are taken modulo the current stream
+//! size, so a fault generated for one stream stays meaningful after the
+//! shrinker removes flows or routers.
+
+use crate::rng::TestkitRng;
+
+/// One mutation of an encoded datagram stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Fault {
+    /// Removes the datagram at `index` (mod stream length), opening a
+    /// sequence gap at the collector.
+    Drop {
+        /// Position in the arrival-order stream.
+        index: usize,
+    },
+    /// Re-delivers the datagram at `index` immediately after itself
+    /// (a zero-gap duplicate the sequence tracker must not count as loss).
+    Duplicate {
+        /// Position in the arrival-order stream.
+        index: usize,
+    },
+    /// Swaps the datagrams at `a` and `b`, delivering exports out of
+    /// order.
+    Swap {
+        /// First position.
+        a: usize,
+        /// Second position.
+        b: usize,
+    },
+    /// Truncates the datagram at `index` to `keep` bytes (mod its length),
+    /// which the decoder must reject as `Truncated` or `BadCount`.
+    Truncate {
+        /// Position in the arrival-order stream.
+        index: usize,
+        /// Bytes to keep.
+        keep: usize,
+    },
+    /// XORs one byte of the datagram at `index`. Depending on the offset
+    /// this lands in the version, count, sequence, engine id, or a record
+    /// body — each exercising a different collector branch.
+    Corrupt {
+        /// Position in the arrival-order stream.
+        index: usize,
+        /// Byte offset within the datagram (mod its length).
+        offset: usize,
+        /// Non-zero XOR mask.
+        xor: u8,
+    },
+}
+
+impl Fault {
+    /// Stable machine-friendly name (used in corpus files).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Fault::Drop { .. } => "drop",
+            Fault::Duplicate { .. } => "duplicate",
+            Fault::Swap { .. } => "swap",
+            Fault::Truncate { .. } => "truncate",
+            Fault::Corrupt { .. } => "corrupt",
+        }
+    }
+
+    /// Draws a random fault. Positions are raw draws; `apply` wraps them
+    /// onto whatever stream it is given.
+    pub fn generate(rng: &mut TestkitRng) -> Fault {
+        match rng.range_usize(0, 5) {
+            0 => Fault::Drop {
+                index: rng.range_usize(0, 1 << 16),
+            },
+            1 => Fault::Duplicate {
+                index: rng.range_usize(0, 1 << 16),
+            },
+            2 => Fault::Swap {
+                a: rng.range_usize(0, 1 << 16),
+                b: rng.range_usize(0, 1 << 16),
+            },
+            3 => Fault::Truncate {
+                index: rng.range_usize(0, 1 << 16),
+                keep: rng.range_usize(0, 64),
+            },
+            _ => Fault::Corrupt {
+                index: rng.range_usize(0, 1 << 16),
+                offset: rng.range_usize(0, 1 << 12),
+                xor: rng.range_usize(1, 256) as u8,
+            },
+        }
+    }
+
+    /// Applies this fault to `stream` in place. No-op on an empty stream.
+    pub fn apply(&self, stream: &mut Vec<Vec<u8>>) {
+        if stream.is_empty() {
+            return;
+        }
+        let n = stream.len();
+        match *self {
+            Fault::Drop { index } => {
+                stream.remove(index % n);
+            }
+            Fault::Duplicate { index } => {
+                let i = index % n;
+                let copy = stream[i].clone();
+                stream.insert(i + 1, copy);
+            }
+            Fault::Swap { a, b } => {
+                stream.swap(a % n, b % n);
+            }
+            Fault::Truncate { index, keep } => {
+                let dgram = &mut stream[index % n];
+                if !dgram.is_empty() {
+                    let keep = keep % dgram.len();
+                    dgram.truncate(keep);
+                }
+            }
+            Fault::Corrupt { index, offset, xor } => {
+                let dgram = &mut stream[index % n];
+                if !dgram.is_empty() {
+                    let off = offset % dgram.len();
+                    dgram[off] ^= xor;
+                }
+            }
+        }
+    }
+}
+
+/// Applies `faults` to `stream` in order.
+pub fn apply_faults(faults: &[Fault], stream: &mut Vec<Vec<u8>>) {
+    for fault in faults {
+        fault.apply(stream);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stream() -> Vec<Vec<u8>> {
+        (0u8..4).map(|i| vec![i; 8]).collect()
+    }
+
+    #[test]
+    fn drop_removes_one_datagram() {
+        let mut s = stream();
+        Fault::Drop { index: 6 }.apply(&mut s);
+        assert_eq!(s.len(), 3);
+        assert!(!s.iter().any(|d| d[0] == 2));
+    }
+
+    #[test]
+    fn duplicate_inserts_adjacent_copy() {
+        let mut s = stream();
+        Fault::Duplicate { index: 1 }.apply(&mut s);
+        assert_eq!(s.len(), 5);
+        assert_eq!(s[1], s[2]);
+    }
+
+    #[test]
+    fn truncate_and_corrupt_wrap_offsets() {
+        let mut s = stream();
+        Fault::Truncate { index: 0, keep: 11 }.apply(&mut s);
+        assert_eq!(s[0].len(), 3);
+        Fault::Corrupt {
+            index: 1,
+            offset: 9,
+            xor: 0xFF,
+        }
+        .apply(&mut s);
+        assert_eq!(s[1][1], 1 ^ 0xFF);
+    }
+
+    #[test]
+    fn faults_ignore_empty_stream() {
+        let mut s: Vec<Vec<u8>> = Vec::new();
+        apply_faults(
+            &[Fault::Drop { index: 0 }, Fault::Swap { a: 1, b: 2 }],
+            &mut s,
+        );
+        assert!(s.is_empty());
+    }
+}

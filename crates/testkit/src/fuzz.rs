@@ -1,0 +1,199 @@
+//! Time-budgeted differential fuzz loop.
+//!
+//! Scenarios are drawn round-robin across the four oracle families so a
+//! bounded run always covers every fast path. Each scenario's seed is
+//! derived from a fixed master-seed set, logged through `transit-obs`
+//! (debug spans + counters), and fully reproducible: a reported failure
+//! names the `(family, seed)` pair that regenerates it.
+
+use std::time::{Duration, Instant};
+
+use transit_obs::{counter, debug_span};
+
+use crate::oracle::{check, Divergence, Verdict};
+use crate::rng::derive_seed;
+use crate::scenario::{Family, Scenario};
+use crate::shrink::{shrink, ShrinkReport};
+
+/// Fuzz loop parameters.
+#[derive(Debug, Clone)]
+pub struct FuzzConfig {
+    /// Master seeds; scenario `i` uses `derive_seed(seeds[i % k], i)`.
+    pub seeds: Vec<u64>,
+    /// Scenarios to run (the loop stops once this many completed).
+    pub scenarios: usize,
+    /// Wall-clock ceiling; exceeding it before `scenarios` complete is a
+    /// budget failure.
+    pub budget: Duration,
+}
+
+impl Default for FuzzConfig {
+    fn default() -> FuzzConfig {
+        FuzzConfig {
+            seeds: vec![42, 1337, 2011],
+            scenarios: 500,
+            budget: Duration::from_secs(60),
+        }
+    }
+}
+
+/// Per-family pass/skip tally.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FamilyTally {
+    /// Scenarios whose oracle fully ran.
+    pub passed: usize,
+    /// Scenarios legitimately out of scope.
+    pub skipped: usize,
+}
+
+/// A divergence found by the loop, already minimized.
+#[derive(Debug, Clone)]
+pub struct FuzzFailure {
+    /// Family of the failing scenario.
+    pub family: Family,
+    /// Derived seed that regenerates the original failing scenario.
+    pub seed: u64,
+    /// Loop index at which it was drawn.
+    pub index: usize,
+    /// Shrunken scenario plus the divergence it still produces.
+    pub report: ShrinkReport,
+}
+
+/// Result of one fuzz run.
+#[derive(Debug, Clone)]
+pub struct FuzzOutcome {
+    /// Scenarios completed (pass + skip).
+    pub scenarios_run: usize,
+    /// Tallies indexed like [`Family::ALL`].
+    pub tallies: [FamilyTally; 4],
+    /// Wall-clock spent.
+    pub elapsed: Duration,
+    /// First divergence found, if any (the loop stops on it).
+    pub failure: Option<FuzzFailure>,
+    /// True when the budget ran out before the scenario target.
+    pub budget_exhausted: bool,
+}
+
+impl FuzzOutcome {
+    /// True when the run met its target with no divergence.
+    pub fn is_green(&self) -> bool {
+        self.failure.is_none() && !self.budget_exhausted
+    }
+
+    /// One-line human summary.
+    pub fn summary(&self) -> String {
+        let per_family: Vec<String> = Family::ALL
+            .iter()
+            .zip(&self.tallies)
+            .map(|(f, t)| format!("{}={}+{}s", f.name(), t.passed, t.skipped))
+            .collect();
+        format!(
+            "{} scenarios in {:.1}s ({})",
+            self.scenarios_run,
+            self.elapsed.as_secs_f64(),
+            per_family.join(", ")
+        )
+    }
+}
+
+fn family_counter(family: Family) -> &'static transit_obs::Counter {
+    match family {
+        Family::Coalesce => counter!("testkit.coalesce.scenarios"),
+        Family::TiledDp => counter!("testkit.tiled_dp.scenarios"),
+        Family::Series => counter!("testkit.series.scenarios"),
+        Family::Ingest => counter!("testkit.ingest.scenarios"),
+    }
+}
+
+/// Runs the fuzz loop until the scenario target, the budget, or the
+/// first divergence (which is greedily shrunk before returning).
+pub fn run_fuzz(config: &FuzzConfig) -> FuzzOutcome {
+    let seeds = if config.seeds.is_empty() {
+        vec![0]
+    } else {
+        config.seeds.clone()
+    };
+    let start = Instant::now();
+    let mut outcome = FuzzOutcome {
+        scenarios_run: 0,
+        tallies: [FamilyTally::default(); 4],
+        elapsed: Duration::ZERO,
+        failure: None,
+        budget_exhausted: false,
+    };
+    for index in 0..config.scenarios {
+        if start.elapsed() > config.budget {
+            outcome.budget_exhausted = true;
+            break;
+        }
+        let family = Family::ALL[index % Family::ALL.len()];
+        let seed = derive_seed(seeds[index % seeds.len()], index as u64);
+        let _guard = debug_span!("testkit.scenario", family = family.name(), seed = seed);
+        let scenario = Scenario::generate(family, seed);
+        counter!("testkit.scenarios").inc();
+        family_counter(family).inc();
+        match check(&scenario) {
+            Ok(Verdict::Pass) => outcome.tallies[index % Family::ALL.len()].passed += 1,
+            Ok(Verdict::Skip(_)) => {
+                counter!("testkit.skipped").inc();
+                outcome.tallies[index % Family::ALL.len()].skipped += 1;
+            }
+            Err(divergence) => {
+                counter!("testkit.divergences").inc();
+                outcome.scenarios_run += 1;
+                outcome.failure = Some(FuzzFailure {
+                    family,
+                    seed,
+                    index,
+                    report: shrink(scenario, divergence),
+                });
+                break;
+            }
+        }
+        outcome.scenarios_run += 1;
+    }
+    outcome.elapsed = start.elapsed();
+    outcome
+}
+
+/// Replays a single scenario the way the fuzz loop would, returning the
+/// oracle's result (used by corpus replay).
+pub fn replay(scenario: &Scenario) -> Result<Verdict, Divergence> {
+    check(scenario)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_run_covers_every_family_and_passes() {
+        let outcome = run_fuzz(&FuzzConfig {
+            seeds: vec![7, 99],
+            scenarios: 24,
+            budget: Duration::from_secs(120),
+        });
+        assert!(outcome.is_green(), "{:?}", outcome.failure);
+        assert_eq!(outcome.scenarios_run, 24);
+        for (family, tally) in Family::ALL.iter().zip(&outcome.tallies) {
+            assert!(
+                tally.passed + tally.skipped == 6,
+                "{}: {tally:?}",
+                family.name()
+            );
+        }
+    }
+
+    #[test]
+    fn identical_configs_draw_identical_scenarios() {
+        let config = FuzzConfig {
+            seeds: vec![5],
+            scenarios: 8,
+            budget: Duration::from_secs(120),
+        };
+        let a = run_fuzz(&config);
+        let b = run_fuzz(&config);
+        assert_eq!(a.scenarios_run, b.scenarios_run);
+        assert!(a.is_green() && b.is_green());
+    }
+}

@@ -1,0 +1,41 @@
+//! # transit-testkit
+//!
+//! Differential correctness harness for the tiered-transit stack.
+//!
+//! PRs 3–5 added fast paths that claim *exact* agreement with their slow
+//! references: one-pass `bundle_series` kernels, the tiled parallel DP,
+//! flow coalescing, and sharded NetFlow ingest. This crate hunts for
+//! divergence instead of sampling it:
+//!
+//! - [`scenario`]: a seed-driven, deterministic scenario generator
+//!   covering all four fast-path families.
+//! - [`oracle`]: differential oracles that re-run each fast path against
+//!   its reference and assert the agreed precision contract (bitwise, or
+//!   an explicit ε-bound for lossy coalescing).
+//! - [`faults`]: wire-level fault injection for the NetFlow path
+//!   (truncation, corruption, reordering, duplication, sequence
+//!   overflow).
+//! - [`shrink`]: a greedy minimizer that reduces failing scenarios to
+//!   committed regression cases.
+//! - [`corpus`]: JSON (de)serialization for those committed cases.
+//! - [`fuzz`]: the time-budgeted loop behind the `fuzz_smoke` binary.
+
+#![warn(missing_docs)]
+
+pub mod corpus;
+pub mod faults;
+pub mod fuzz;
+pub mod oracle;
+pub mod rng;
+pub mod scenario;
+pub mod shrink;
+
+pub use corpus::{from_json, load_dir, to_json, CorpusCase, CorpusError};
+pub use faults::{apply_faults, Fault};
+pub use fuzz::{run_fuzz, FuzzConfig, FuzzFailure, FuzzOutcome};
+pub use oracle::{
+    check, epsilon_deviation_bounds, materialize_stream, Divergence, EpsilonBounds, Verdict,
+};
+pub use rng::{derive_seed, TestkitRng};
+pub use scenario::{DemandSpec, Family, IngestScenario, MarketSpec, Scenario};
+pub use shrink::{shrink, ShrinkReport};

@@ -1,0 +1,322 @@
+//! Fuzz scenarios: explicit, deterministic descriptions of one
+//! differential check.
+//!
+//! A [`Scenario`] carries *data*, not a seed: everything the oracle needs
+//! is materialized into plain fields so the greedy shrinker can remove
+//! flows, faults, and replication without re-deriving anything from a
+//! generator stream. [`Scenario::generate`] maps a `(family, seed)` pair
+//! to a scenario; the same pair always yields the same scenario.
+
+use transit_datasets::{generate, Network};
+
+use crate::faults::Fault;
+use crate::rng::TestkitRng;
+
+/// The four fast paths under differential test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Family {
+    /// [`CoalescedMarket`](transit_core::coalesce::CoalescedMarket) vs the
+    /// raw market (CED + logit, ε = 0 and ε > 0).
+    Coalesce,
+    /// Tiled parallel DP vs the serial DP build.
+    TiledDp,
+    /// One-pass `bundle_series` vs the per-point `bundle` loop.
+    Series,
+    /// Sharded batch ingest vs serial datagram ingest, under faults.
+    Ingest,
+}
+
+impl Family {
+    /// All families, in fuzz round-robin order.
+    pub const ALL: [Family; 4] = [
+        Family::Coalesce,
+        Family::TiledDp,
+        Family::Series,
+        Family::Ingest,
+    ];
+
+    /// Stable machine-friendly name (used in corpus files and counters).
+    pub fn name(self) -> &'static str {
+        match self {
+            Family::Coalesce => "coalesce",
+            Family::TiledDp => "tiled_dp",
+            Family::Series => "series",
+            Family::Ingest => "ingest",
+        }
+    }
+
+    /// Parses a [`Family::name`] string.
+    pub fn parse(s: &str) -> Option<Family> {
+        Family::ALL.into_iter().find(|f| f.name() == s)
+    }
+}
+
+/// Which demand model a market scenario fits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DemandSpec {
+    /// Constant-elasticity demand.
+    Ced,
+    /// Logit discrete-choice demand (fit may be legitimately infeasible).
+    Logit,
+}
+
+impl DemandSpec {
+    /// Stable name for corpus files.
+    pub fn name(self) -> &'static str {
+        match self {
+            DemandSpec::Ced => "ced",
+            DemandSpec::Logit => "logit",
+        }
+    }
+
+    /// Parses a [`DemandSpec::name`] string.
+    pub fn parse(s: &str) -> Option<DemandSpec> {
+        match s {
+            "ced" => Some(DemandSpec::Ced),
+            "logit" => Some(DemandSpec::Logit),
+            _ => None,
+        }
+    }
+}
+
+/// A market to fit: `(demand_mbps, distance_miles)` pairs plus the model
+/// parameters. Fitting uses the paper defaults `P0 = 20`, `θ = 0.2`,
+/// `s0 = 0.2` (linear cost model).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MarketSpec {
+    /// Demand family to fit.
+    pub demand: DemandSpec,
+    /// Price sensitivity (`> 1` so the CED score is well-defined).
+    pub alpha: f64,
+    /// Largest tier budget the oracle sweeps.
+    pub max_bundles: usize,
+    /// `(demand_mbps, distance_miles)` per flow, all positive.
+    pub flows: Vec<(f64, f64)>,
+}
+
+/// One differential-check scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Scenario {
+    /// Coalesced vs raw market.
+    Coalesce {
+        /// Base market; its flows are replicated before fitting.
+        market: MarketSpec,
+        /// Quantization tolerance (0 = exact mode).
+        epsilon: f64,
+        /// Copies of each base flow in the raw market (≥ 1).
+        replication: usize,
+        /// Absolute demand jitter applied to replicas (0 = exact
+        /// duplicates). Kept below ε/2 so jittered copies still tend to
+        /// merge.
+        jitter: f64,
+    },
+    /// Tiled parallel DP vs serial DP.
+    TiledDp {
+        /// `(demand, distance)` pairs for a CED market.
+        flows: Vec<(f64, f64)>,
+        /// Largest tier budget.
+        max_bundles: usize,
+    },
+    /// `bundle_series` vs per-point `bundle` for every strategy.
+    Series {
+        /// The market under test.
+        market: MarketSpec,
+    },
+    /// Sharded vs serial collector ingest under injected faults.
+    Ingest(IngestScenario),
+}
+
+/// A synthetic export stream plus the faults applied to it.
+///
+/// The stream itself is a pure function of these fields (flow keys,
+/// per-flow packet counts, and flush framing are derived from indices),
+/// so two runs of the same scenario ingest byte-identical datagrams.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IngestScenario {
+    /// Distinct flows offered to every router.
+    pub n_flows: usize,
+    /// Exporting routers (engine ids `0..n_routers`).
+    pub n_routers: usize,
+    /// 1-in-N packet sampling at each router.
+    pub sampling_rate: u32,
+    /// Base packets per flow (varied per flow index).
+    pub packets_per_flow: u64,
+    /// Bytes per packet.
+    pub packet_bytes: u32,
+    /// Offset added (wrapping) to every export header's `flow_sequence`;
+    /// values near `u32::MAX` exercise mid-batch sequence overflow.
+    pub seq_base: u32,
+    /// Faults applied to the encoded stream, in order.
+    pub faults: Vec<Fault>,
+}
+
+impl Scenario {
+    /// Which family this scenario belongs to.
+    pub fn family(&self) -> Family {
+        match self {
+            Scenario::Coalesce { .. } => Family::Coalesce,
+            Scenario::TiledDp { .. } => Family::TiledDp,
+            Scenario::Series { .. } => Family::Series,
+            Scenario::Ingest(_) => Family::Ingest,
+        }
+    }
+
+    /// Deterministically generates a scenario of `family` from `seed`.
+    pub fn generate(family: Family, seed: u64) -> Scenario {
+        let mut rng = TestkitRng::new(seed);
+        match family {
+            Family::Coalesce => gen_coalesce(&mut rng),
+            Family::TiledDp => gen_tiled_dp(&mut rng),
+            Family::Series => gen_series(&mut rng),
+            Family::Ingest => Scenario::Ingest(gen_ingest(&mut rng)),
+        }
+    }
+}
+
+/// Random positive `(demand, distance)` pairs, occasionally sourced from
+/// the Table-1-calibrated dataset generators so the oracles also see
+/// realistic marginals.
+fn gen_flows(rng: &mut TestkitRng, lo: usize, hi: usize, allow_dataset: bool) -> Vec<(f64, f64)> {
+    let n = rng.range_usize(lo, hi);
+    if allow_dataset && rng.chance(0.35) {
+        let network = match rng.range_usize(0, 3) {
+            0 => Network::EuIsp,
+            1 => Network::Internet2,
+            _ => Network::Cdn,
+        };
+        let ds = generate(network, n, rng.next_u64());
+        ds.flows
+            .iter()
+            .map(|f| (f.demand_mbps, f.distance_miles))
+            .collect()
+    } else {
+        (0..n)
+            .map(|_| (rng.range_f64(0.1, 500.0), rng.range_f64(0.5, 4000.0)))
+            .collect()
+    }
+}
+
+fn gen_market(rng: &mut TestkitRng, lo: usize, hi: usize, allow_dataset: bool) -> MarketSpec {
+    MarketSpec {
+        demand: if rng.chance(0.35) {
+            DemandSpec::Logit
+        } else {
+            DemandSpec::Ced
+        },
+        alpha: rng.range_f64(1.05, 1.6),
+        max_bundles: rng.range_usize(1, 7),
+        flows: gen_flows(rng, lo, hi, allow_dataset),
+    }
+}
+
+fn gen_coalesce(rng: &mut TestkitRng) -> Scenario {
+    // Keep the raw market within OptimalExhaustive reach (≤ 10 flows)
+    // so the ε > 0 bound oracle can use the true optimum as reference.
+    let mut market = gen_market(rng, 2, 6, false);
+    let replication = rng.range_usize(1, 3);
+    while market.flows.len() * replication > 10 {
+        market.flows.pop();
+    }
+    market.max_bundles = market.max_bundles.min(market.flows.len() * replication);
+    let epsilon = if rng.chance(0.4) {
+        0.0
+    } else {
+        rng.range_f64(1e-3, 2.0)
+    };
+    let jitter = if epsilon > 0.0 && rng.chance(0.5) {
+        rng.range_f64(0.0, epsilon * 0.4)
+    } else {
+        0.0
+    };
+    Scenario::Coalesce {
+        market,
+        epsilon,
+        replication,
+        jitter,
+    }
+}
+
+fn gen_tiled_dp(rng: &mut TestkitRng) -> Scenario {
+    // Mostly small (serial-fallback rows); occasionally large enough that
+    // rows genuinely split into parallel column tiles (> 512 columns).
+    let flows = if rng.chance(0.08) {
+        gen_flows(rng, 520, 580, false)
+    } else {
+        gen_flows(rng, 2, 48, true)
+    };
+    Scenario::TiledDp {
+        max_bundles: rng.range_usize(1, 8),
+        flows,
+    }
+}
+
+fn gen_series(rng: &mut TestkitRng) -> Scenario {
+    Scenario::Series {
+        market: gen_market(rng, 2, 20, true),
+    }
+}
+
+fn gen_ingest(rng: &mut TestkitRng) -> IngestScenario {
+    let seq_base = match rng.range_usize(0, 4) {
+        0 | 1 => 0,
+        // Near-overflow base: the running sequence wraps mid-stream.
+        2 => u32::MAX - rng.range_usize(1, 40) as u32,
+        _ => rng.next_u64() as u32,
+    };
+    let n_faults = rng.range_usize(0, 7);
+    let faults = (0..n_faults).map(|_| Fault::generate(rng)).collect();
+    IngestScenario {
+        n_flows: rng.range_usize(3, 80),
+        n_routers: rng.range_usize(1, 4),
+        sampling_rate: if rng.chance(0.3) { 10 } else { 1 },
+        packets_per_flow: rng.range_usize(1, 40) as u64,
+        packet_bytes: rng.range_usize(200, 1500) as u32,
+        seq_base,
+        faults,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        for family in Family::ALL {
+            for seed in [0u64, 1, 42, u64::MAX] {
+                let a = Scenario::generate(family, seed);
+                let b = Scenario::generate(family, seed);
+                assert_eq!(a, b, "{} seed {seed}", family.name());
+                assert_eq!(a.family(), family);
+            }
+        }
+    }
+
+    #[test]
+    fn coalesce_scenarios_stay_exhaustive_sized() {
+        for seed in 0..200u64 {
+            let Scenario::Coalesce {
+                market,
+                replication,
+                epsilon,
+                jitter,
+            } = Scenario::generate(Family::Coalesce, seed)
+            else {
+                panic!("wrong family");
+            };
+            assert!(market.flows.len() * replication <= 10);
+            assert!(!market.flows.is_empty());
+            assert!(market.max_bundles >= 1);
+            assert!(epsilon >= 0.0);
+            assert!(jitter <= epsilon / 2.0 || jitter == 0.0);
+        }
+    }
+
+    #[test]
+    fn family_names_roundtrip() {
+        for family in Family::ALL {
+            assert_eq!(Family::parse(family.name()), Some(family));
+        }
+        assert_eq!(Family::parse("nope"), None);
+    }
+}

@@ -11,6 +11,18 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== tests (workspace) =="
 cargo test --workspace -q
 
+# Differential fuzz smoke: replay every committed regression case in
+# tests/corpus/, then run 500 fresh scenarios (fixed seed set, so this
+# is deterministic) round-robin across the four oracle families —
+# coalesced vs raw markets, tiled vs serial DP, one-pass vs per-point
+# series, sharded vs serial fault-injected ingest. Fails on any oracle
+# divergence, any un-replayed corpus case, or blowing the 60s budget
+# (a full run takes ~2s on a dev laptop). A divergence is auto-shrunk
+# and written to target/fuzz_failures/ for committing to the corpus.
+echo "== fuzz smoke (corpus replay + 500 differential scenarios, 60s budget) =="
+cargo run --release -q -p transit-testkit --bin fuzz_smoke -- \
+  --corpus tests/corpus --scenarios 500 --budget-secs 60 --seeds 42,1337,2011
+
 # Bounded large-n smoke: the full generate → sharded ingest → fit →
 # coalesce → bundle path at 100k raw flows must finish inside a generous
 # wall-clock budget (it takes ~1s on a dev laptop; the budget only

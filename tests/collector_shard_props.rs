@@ -1,0 +1,197 @@
+//! `Collector` loss/drop/overflow accounting must be a pure function of
+//! the arrival-order datagram stream — never of how many shards the
+//! flow table is split across. These properties pin that invariant for
+//! shard counts {1, 4, 16} on fuzzer-generated fault streams, plus
+//! deterministic cases for the two trickiest behaviors: exact
+//! sequence-gap counting and mid-stream `u32` sequence wraparound.
+//!
+//! The registry-delta test reads process-global `CollectorStats`
+//! counters and every ingest bumps them, so all tests in this file
+//! serialize on a file-local mutex.
+
+use std::sync::Mutex;
+
+use proptest::prelude::*;
+use tiered_transit::netflow::{Collector, CollectorStats, MeasuredFlow};
+use transit_testkit::{materialize_stream, Family, Fault, IngestScenario, Scenario};
+
+static REGISTRY_LOCK: Mutex<()> = Mutex::new(());
+
+/// Everything shard-count-invariance is asserted over.
+#[derive(Debug, PartialEq)]
+struct Observation {
+    stats: (u64, u64, u64),
+    lost_total: u64,
+    lost_per_engine: Vec<u64>,
+    flow_count: usize,
+    measured: Vec<MeasuredFlow>,
+    summed: Vec<MeasuredFlow>,
+}
+
+fn observe(collector: &Collector, n_routers: usize) -> Observation {
+    Observation {
+        stats: collector.stats(),
+        lost_total: collector.lost_records(),
+        lost_per_engine: (0..n_routers.max(1) as u8)
+            .map(|r| collector.lost_records_from(r))
+            .collect(),
+        flow_count: collector.flow_count(),
+        measured: collector.measured_flows(),
+        summed: collector.summed_flows(),
+    }
+}
+
+/// Serial per-datagram reference for a stream (decode failures are
+/// expected under fault injection and simply counted).
+fn serial_reference(stream: &[Vec<u8>], n_routers: usize) -> Observation {
+    let mut collector = Collector::new();
+    for dgram in stream {
+        let _ = collector.ingest(dgram);
+    }
+    observe(&collector, n_routers)
+}
+
+fn assert_shard_invariant(stream: &[Vec<u8>], n_routers: usize) {
+    let expected = serial_reference(stream, n_routers);
+    for shards in [1usize, 4, 16] {
+        let mut collector = Collector::with_shards(shards);
+        collector.ingest_batch(stream);
+        let got = observe(&collector, n_routers);
+        assert_eq!(
+            got, expected,
+            "shards={shards} diverges from the serial reference"
+        );
+        assert_eq!(
+            got.stats.0 + got.stats.2,
+            stream.len() as u64,
+            "shards={shards}: every datagram must be counted or a decode error"
+        );
+    }
+}
+
+/// A deterministic 2-router stream: 90 flows → 3 export packets of 30
+/// records per router, interleaved in arrival order.
+fn two_router_scenario(faults: Vec<Fault>, seq_base: u32) -> IngestScenario {
+    IngestScenario {
+        n_flows: 90,
+        n_routers: 2,
+        sampling_rate: 1,
+        packets_per_flow: 10,
+        packet_bytes: 1000,
+        seq_base,
+        faults,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Fuzzer-generated ingest scenarios (faulted streams, multiple
+    /// routers, sampling, near-overflow sequence bases): every counter
+    /// and every aggregated flow is identical at shards {1, 4, 16}.
+    #[test]
+    fn counters_are_shard_count_invariant(seed in 0usize..4096) {
+        let _guard = REGISTRY_LOCK.lock().unwrap();
+        let Scenario::Ingest(scenario) = Scenario::generate(Family::Ingest, seed as u64) else {
+            unreachable!("ingest generator returns ingest scenarios");
+        };
+        let stream = materialize_stream(&scenario);
+        if !stream.is_empty() {
+            assert_shard_invariant(&stream, scenario.n_routers);
+        }
+    }
+
+    /// Streams with guaranteed sequence gaps: dropping any mid-stream
+    /// datagram yields the same loss accounting at every shard count.
+    #[test]
+    fn gapped_streams_stay_invariant(drop_index in 0usize..12, extra_drop in 0usize..12) {
+        let _guard = REGISTRY_LOCK.lock().unwrap();
+        let scenario = two_router_scenario(
+            vec![Fault::Drop { index: drop_index }, Fault::Drop { index: extra_drop }],
+            0,
+        );
+        let stream = materialize_stream(&scenario);
+        assert_shard_invariant(&stream, scenario.n_routers);
+    }
+}
+
+/// Dropping a known middle packet loses exactly its 30 records, and the
+/// per-engine attribution is identical for every shard count.
+#[test]
+fn dropped_packet_loss_is_counted_exactly() {
+    let _guard = REGISTRY_LOCK.lock().unwrap();
+    // Arrival order: [r0p0, r1p0, r0p1, r1p1, r0p2, r1p2]; index 2 is
+    // router 0's middle packet (records 30..60).
+    let scenario = two_router_scenario(vec![Fault::Drop { index: 2 }], 0);
+    let stream = materialize_stream(&scenario);
+    assert_eq!(stream.len(), 5);
+    let reference = serial_reference(&stream, 2);
+    assert_eq!(reference.lost_total, 30);
+    assert_eq!(reference.lost_per_engine, vec![30, 0]);
+    assert_shard_invariant(&stream, 2);
+}
+
+/// A sequence base just below `u32::MAX` makes the running sequence wrap
+/// mid-stream; contiguous delivery across the wrap must count zero loss,
+/// and a drop across the wrap must still count exactly its records.
+#[test]
+fn sequence_overflow_mid_stream() {
+    let _guard = REGISTRY_LOCK.lock().unwrap();
+    // Contiguous: wraparound is not loss.
+    let contiguous = two_router_scenario(Vec::new(), u32::MAX - 35);
+    let stream = materialize_stream(&contiguous);
+    let reference = serial_reference(&stream, 2);
+    assert_eq!(reference.lost_total, 0, "wraparound must not read as loss");
+    assert_shard_invariant(&stream, 2);
+
+    // Dropping the packet that crosses the wrap still loses exactly 30.
+    let dropped = two_router_scenario(vec![Fault::Drop { index: 2 }], u32::MAX - 35);
+    let stream = materialize_stream(&dropped);
+    let reference = serial_reference(&stream, 2);
+    assert_eq!(reference.lost_total, 30);
+    assert_shard_invariant(&stream, 2);
+}
+
+/// Process-global `CollectorStats` registry deltas are also shard-count
+/// invariant: the batch path reports the same datagram/record/error/loss
+/// activity whatever the shard count.
+#[test]
+fn registry_deltas_are_shard_count_invariant() {
+    let _guard = REGISTRY_LOCK.lock().unwrap();
+    let scenario = two_router_scenario(
+        vec![
+            Fault::Drop { index: 3 },
+            Fault::Truncate { index: 1, keep: 10 },
+            Fault::Duplicate { index: 0 },
+        ],
+        u32::MAX - 17,
+    );
+    let stream = materialize_stream(&scenario);
+
+    let mut deltas = Vec::new();
+    for shards in [1usize, 4, 16] {
+        let baseline = CollectorStats::snapshot();
+        let mut collector = Collector::with_shards(shards);
+        collector.ingest_batch(&stream);
+        let delta = CollectorStats::snapshot().delta_since(&baseline);
+        assert_eq!(
+            delta.datagrams + delta.decode_errors,
+            stream.len() as u64,
+            "shards={shards}: registry must account for every datagram"
+        );
+        assert_eq!(
+            delta.sharded_records, delta.records,
+            "shards={shards}: batch path routes every record through shards"
+        );
+        let (datagrams, records, decode_errors) = collector.stats();
+        assert_eq!(
+            (delta.datagrams, delta.records, delta.decode_errors),
+            (datagrams, records, decode_errors),
+            "shards={shards}: registry delta must mirror local stats"
+        );
+        assert_eq!(delta.lost_records, collector.lost_records());
+        deltas.push(delta);
+    }
+    assert_eq!(deltas[0], deltas[1]);
+    assert_eq!(deltas[1], deltas[2]);
+}

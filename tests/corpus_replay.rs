@@ -1,0 +1,67 @@
+//! Replays every committed regression case in `tests/corpus/` through
+//! its differential oracle. These files are minimized (or curated)
+//! scenarios with a history: each one pins a fast-path contract that the
+//! fuzzer once exercised. A case that fails to parse, skips its oracle,
+//! or diverges is a regression.
+//!
+//! Regenerate the curated set with
+//! `cargo run --release -p transit-testkit --bin fuzz_smoke -- --emit-corpus tests/corpus`.
+
+use std::collections::HashSet;
+use std::path::PathBuf;
+
+use transit_testkit::{check, from_json, load_dir, to_json, Family, Verdict};
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/corpus")
+}
+
+#[test]
+fn every_corpus_case_replays_green() {
+    let entries = load_dir(&corpus_dir()).expect("tests/corpus must be readable");
+    assert!(!entries.is_empty(), "tests/corpus must contain cases");
+    let mut families = HashSet::new();
+    for (path, parsed) in entries {
+        let case = parsed.unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        families.insert(case.scenario.family());
+        match check(&case.scenario) {
+            Ok(Verdict::Pass) => {}
+            Ok(Verdict::Skip(why)) => panic!(
+                "{}: corpus case skipped its oracle ({why}) — it asserts nothing",
+                path.display()
+            ),
+            Err(d) => panic!("{}: corpus case diverged: {d}", path.display()),
+        }
+    }
+    assert_eq!(
+        families.len(),
+        Family::ALL.len(),
+        "corpus must cover all four oracle families, found {families:?}"
+    );
+}
+
+#[test]
+fn corpus_files_are_canonical() {
+    // Re-encoding a parsed case must reproduce the committed bytes, so
+    // hand-edited files can't silently drift from what `--emit-corpus`
+    // (and the shrinker's failure reports) write.
+    for (path, parsed) in load_dir(&corpus_dir()).expect("tests/corpus must be readable") {
+        let case = parsed.unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        let reencoded = to_json(&case) + "\n";
+        let on_disk = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(
+            reencoded,
+            on_disk,
+            "{}: not in canonical emitter format",
+            path.display()
+        );
+        // And the canonical form itself round-trips losslessly.
+        assert_eq!(from_json(&reencoded).unwrap(), case);
+        assert_eq!(
+            path.file_stem().and_then(|s| s.to_str()),
+            Some(case.name.as_str()),
+            "{}: file stem must match the case name",
+            path.display()
+        );
+    }
+}

@@ -1,0 +1,51 @@
+//! The two parallelism axes compose exactly: item-level `--jobs` (sweep
+//! fan-out) and intra-market `--dp-threads` (tiled DP table build) are
+//! both pure optimizations, so figure JSON must be *byte-identical*
+//! across every `{jobs, dp_threads} ∈ {1, 8} × {1, 8}` combination.
+//!
+//! `runners::run` installs `config.dp_threads` as the process-wide DP
+//! default, so the runs serialize on one mutex (same pattern as
+//! `obs_regression.rs` for the log level).
+
+use std::sync::Mutex;
+
+use tiered_transit::experiments::{runners, ExperimentConfig};
+use tiered_transit::obs;
+
+static PROCESS_CONFIG_LOCK: Mutex<()> = Mutex::new(());
+
+fn run_fig8(jobs: usize, dp_threads: usize) -> String {
+    obs::set_log_level(obs::Level::Quiet);
+    let config = ExperimentConfig {
+        seed: 42,
+        n_flows: 120,
+        jobs,
+        dp_threads,
+        log_level: obs::Level::Quiet,
+        ..ExperimentConfig::default()
+    };
+    let result = runners::run("fig8", &config)
+        .expect("fig8 runs")
+        .expect("fig8 known");
+    result.to_json()
+}
+
+#[test]
+fn figure_json_is_byte_identical_across_jobs_and_dp_threads() {
+    let _guard = PROCESS_CONFIG_LOCK.lock().unwrap();
+    let reference = run_fig8(1, 1);
+    assert!(!reference.is_empty());
+    for jobs in [1usize, 8] {
+        for dp_threads in [1usize, 8] {
+            if (jobs, dp_threads) == (1, 1) {
+                continue;
+            }
+            let json = run_fig8(jobs, dp_threads);
+            assert_eq!(
+                json, reference,
+                "fig8 JSON diverges at jobs={jobs}, dp_threads={dp_threads}"
+            );
+        }
+    }
+    obs::set_log_level(obs::Level::Info);
+}
