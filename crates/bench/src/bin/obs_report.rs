@@ -1,0 +1,241 @@
+//! Renders the bench-history ledger (`BENCH_history.jsonl`) as a
+//! markdown perf report: one table row per recorded run plus a delta
+//! section comparing the newest entry against the previous entry from
+//! the **same source** ("gate" vs "obs-smoke" runs use different
+//! configurations, so cross-source deltas would be noise).
+//!
+//! ```text
+//! obs_report [HISTORY.jsonl] [--out REPORT.md]
+//! ```
+//!
+//! Defaults: read `BENCH_history.jsonl` in the current directory, print
+//! the report to stdout. Exits non-zero when the ledger is missing,
+//! empty, or contains a malformed line (schema drift should fail CI, not
+//! render a half-report).
+
+use std::path::Path;
+
+use transit_bench::history::{self, HistoryEntry, HISTORY_FILE};
+
+/// `+4.2%` / `-1.3%` / `~0.0%` relative change, or `n/a` when the
+/// baseline side is zero.
+fn pct_delta(current: f64, previous: f64) -> String {
+    if previous == 0.0 {
+        return "n/a".to_string();
+    }
+    let pct = (current / previous - 1.0) * 100.0;
+    if pct.abs() < 0.05 {
+        "~0.0%".to_string()
+    } else {
+        format!("{pct:+.1}%")
+    }
+}
+
+/// `2026-08-08 12:34:56 UTC` from a Unix timestamp (civil-date math per
+/// Howard Hinnant's algorithm; std has no calendar formatting).
+fn format_unix(secs: u64) -> String {
+    let days = (secs / 86_400) as i64;
+    let rem = secs % 86_400;
+    let (h, m, s) = (rem / 3600, (rem % 3600) / 60, rem % 60);
+    let z = days + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let mth = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = if mth <= 2 { y + 1 } else { y };
+    format!("{y:04}-{mth:02}-{d:02} {h:02}:{m:02}:{s:02} UTC")
+}
+
+fn render(entries: &[HistoryEntry]) -> String {
+    let mut out = String::new();
+    out.push_str("# Bench history report\n\n");
+    out.push_str(&format!(
+        "{} recorded run(s) · schema `{}`\n\n",
+        entries.len(),
+        history::HISTORY_SCHEMA
+    ));
+
+    out.push_str(
+        "| recorded (UTC) | source | git | jobs | items/s (1) | items/s (N) | speedup | obs overhead | million-flow total |\n\
+         |---|---|---|---|---|---|---|---|---|\n",
+    );
+    for e in entries {
+        let speedup = if e.single_core {
+            "1 core".to_string()
+        } else {
+            format!("{:.2}x", e.speedup())
+        };
+        let mf_total = e
+            .million_flow_sec
+            .get("total")
+            .map_or("—".to_string(), |t| format!("{t:.2}s"));
+        out.push_str(&format!(
+            "| {} | {} | {} | {} | {:.2} | {:.2} | {} | {:.1}% | {} |\n",
+            format_unix(e.recorded_unix),
+            e.source,
+            e.git_rev.as_deref().unwrap_or("—"),
+            e.jobs_n,
+            e.items_per_sec_jobs1,
+            e.items_per_sec_jobs_n,
+            speedup,
+            e.obs_overhead_pct,
+            mf_total,
+        ));
+    }
+    out.push('\n');
+
+    let latest = entries.last().expect("render called with entries");
+    let previous = entries[..entries.len() - 1]
+        .iter()
+        .rev()
+        .find(|e| e.source == latest.source);
+    out.push_str(&format!(
+        "## Latest entry ({} · {})\n\n",
+        latest.source,
+        format_unix(latest.recorded_unix)
+    ));
+    match previous {
+        Some(prev) => {
+            out.push_str(&format!(
+                "Deltas vs previous `{}` entry ({}):\n\n",
+                prev.source,
+                format_unix(prev.recorded_unix)
+            ));
+            out.push_str(&format!(
+                "- items/sec (jobs=1): {:.2} ({})\n",
+                latest.items_per_sec_jobs1,
+                pct_delta(latest.items_per_sec_jobs1, prev.items_per_sec_jobs1)
+            ));
+            out.push_str(&format!(
+                "- items/sec (jobs={}): {:.2} ({})\n",
+                latest.jobs_n,
+                latest.items_per_sec_jobs_n,
+                pct_delta(latest.items_per_sec_jobs_n, prev.items_per_sec_jobs_n)
+            ));
+            if !latest.single_core && !prev.single_core {
+                out.push_str(&format!(
+                    "- parallel speedup: {:.2}x ({})\n",
+                    latest.speedup(),
+                    pct_delta(latest.speedup(), prev.speedup())
+                ));
+            }
+            out.push_str(&format!(
+                "- span overhead: {:.1}% (prev {:.1}%)\n",
+                latest.obs_overhead_pct, prev.obs_overhead_pct
+            ));
+            for (phase, &sec) in &latest.million_flow_sec {
+                match prev.million_flow_sec.get(phase) {
+                    Some(&prev_sec) => out.push_str(&format!(
+                        "- million-flow {phase}: {sec:.2}s ({})\n",
+                        pct_delta(sec, prev_sec)
+                    )),
+                    None => out.push_str(&format!("- million-flow {phase}: {sec:.2}s (new)\n")),
+                }
+            }
+        }
+        None => {
+            out.push_str(&format!(
+                "First `{}` entry — no prior run to compare against. \
+                 Deltas will appear once a second entry lands.\n",
+                latest.source
+            ));
+        }
+    }
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut history_path = HISTORY_FILE.to_string();
+    let mut out_path: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => match it.next() {
+                Some(path) => out_path = Some(path.clone()),
+                None => {
+                    eprintln!("--out needs a path");
+                    std::process::exit(2);
+                }
+            },
+            other => history_path = other.to_string(),
+        }
+    }
+
+    let entries = match history::read(Path::new(&history_path)) {
+        Ok(entries) => entries,
+        Err(e) => {
+            eprintln!("obs_report: {e}");
+            std::process::exit(1);
+        }
+    };
+    if entries.is_empty() {
+        eprintln!(
+            "obs_report: {history_path} has no entries; run \
+             `sweep_smoke --gate BENCH_sweep.json` to record one"
+        );
+        std::process::exit(1);
+    }
+    let report = render(&entries);
+    match out_path {
+        Some(path) => {
+            if let Err(e) = std::fs::write(&path, &report) {
+                eprintln!("obs_report: cannot write {path}: {e}");
+                std::process::exit(1);
+            }
+            println!("wrote {path}");
+        }
+        None => print!("{report}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    fn entry(source: &str, when: u64, ips1: f64, ips_n: f64) -> HistoryEntry {
+        HistoryEntry {
+            recorded_unix: when,
+            source: source.to_string(),
+            git_rev: Some("abc1234".to_string()),
+            jobs_n: 8,
+            single_core: false,
+            items_per_sec_jobs1: ips1,
+            items_per_sec_jobs_n: ips_n,
+            obs_overhead_pct: 1.0,
+            million_flow_sec: BTreeMap::from([("total".to_string(), 10.0)]),
+        }
+    }
+
+    #[test]
+    fn report_has_one_row_per_entry_and_same_source_deltas() {
+        let entries = vec![
+            entry("gate", 1_754_000_000, 30.0, 120.0),
+            entry("obs-smoke", 1_754_000_100, 50.0, 200.0),
+            entry("gate", 1_754_000_200, 33.0, 120.0),
+        ];
+        let report = render(&entries);
+        assert_eq!(report.matches("| gate |").count(), 2);
+        assert_eq!(report.matches("| obs-smoke |").count(), 1);
+        // Latest is a gate entry: delta against the *gate* predecessor
+        // (30 → 33 = +10%), not the interleaved obs-smoke run.
+        assert!(report.contains("(+10.0%)"), "{report}");
+    }
+
+    #[test]
+    fn first_entry_of_a_source_reports_no_baseline() {
+        let report = render(&[entry("gate", 1_754_000_000, 30.0, 120.0)]);
+        assert!(report.contains("First `gate` entry"), "{report}");
+    }
+
+    #[test]
+    fn unix_formatting_is_civil() {
+        assert_eq!(format_unix(0), "1970-01-01 00:00:00 UTC");
+        assert_eq!(format_unix(1_754_000_000), "2025-07-31 22:13:20 UTC");
+    }
+}

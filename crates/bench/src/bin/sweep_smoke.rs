@@ -27,8 +27,12 @@
 //!
 //! ```text
 //! sweep_smoke [OUT.json]          # measure and write the v3 report
-//! sweep_smoke --gate BASELINE     # measure, compare against committed
-//!                                 # baseline, exit non-zero on regression
+//! sweep_smoke --gate BASELINE [HISTORY]
+//!                                 # measure, compare against committed
+//!                                 # baseline, exit non-zero on regression;
+//!                                 # on success append one line to the
+//!                                 # bench-history ledger (default
+//!                                 # BENCH_history.jsonl)
 //! sweep_smoke --smoke [N] [SECS]  # bounded large-n smoke: run only the
 //!                                 # million-flow path at N raw flows
 //!                                 # (default 100000) and fail if it
@@ -311,6 +315,32 @@ impl Report {
         self.quiet_n / self.quiet1
     }
 
+    /// The bench-history ledger line for this measurement.
+    fn to_history_entry(&self, source: &str) -> transit_bench::history::HistoryEntry {
+        let mf = &self.million_flow;
+        transit_bench::history::HistoryEntry {
+            recorded_unix: transit_bench::history::now_unix(),
+            source: source.to_string(),
+            git_rev: Some(transit_obs::git_rev()),
+            jobs_n: self.jobs_n as u64,
+            single_core: self.single_core,
+            items_per_sec_jobs1: self.quiet1,
+            items_per_sec_jobs_n: self.quiet_n,
+            obs_overhead_pct: (self.quiet1 / self.info1 - 1.0) * 100.0,
+            million_flow_sec: [
+                ("generate", mf.generate_sec),
+                ("ingest", mf.ingest_sec),
+                ("fit", mf.fit_sec),
+                ("coalesce", mf.coalesce_sec),
+                ("curves", mf.curves_sec),
+                ("total", mf.total_sec()),
+            ]
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+        }
+    }
+
     fn to_json(&self) -> String {
         let overhead_pct = (self.quiet1 / self.info1 - 1.0) * 100.0;
         let warning = if self.single_core {
@@ -587,6 +617,20 @@ fn main() {
         let failures = gate(&report, baseline_path);
         if failures.is_empty() {
             println!("gate: OK (baseline {baseline_path})");
+            // Only passing runs enter the ledger: the history is the
+            // perf trajectory of accepted states of the tree, not a log
+            // of every attempt.
+            let history_path = args
+                .get(2)
+                .map_or(transit_bench::history::HISTORY_FILE, String::as_str);
+            let entry = report.to_history_entry("gate");
+            match transit_bench::history::append(std::path::Path::new(history_path), &entry) {
+                Ok(()) => println!("history: appended to {history_path}"),
+                Err(e) => {
+                    eprintln!("history: failed to append to {history_path}: {e}");
+                    std::process::exit(1);
+                }
+            }
         } else {
             for f in &failures {
                 eprintln!("gate FAILED: {f}");

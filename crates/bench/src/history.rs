@@ -1,0 +1,258 @@
+//! Bench-history ledger: an append-only `BENCH_history.jsonl` recording
+//! one line per gated perf run, so the perf trajectory across PRs is
+//! finally data instead of a repeatedly overwritten `BENCH_sweep.json`.
+//!
+//! One entry is one JSON object per line (schema
+//! [`HISTORY_SCHEMA`]). Appending never rewrites earlier lines, so
+//! concurrent or crashed writers can at worst lose their own line.
+//! Readers skip blank lines and reject lines whose `schema` field is
+//! unknown, so the format can evolve by bumping the schema string.
+//!
+//! `obs_report` renders this ledger as a markdown report with deltas
+//! between consecutive like-for-like entries (same `source`; comparing a
+//! full gate run against a quick obs-smoke run would make every delta
+//! noise).
+
+use std::collections::BTreeMap;
+use std::io::Write as _;
+use std::path::Path;
+
+/// Schema identifier stamped on every history line.
+pub const HISTORY_SCHEMA: &str = "transit-bench/history/v1";
+
+/// Default ledger filename at the repo root.
+pub const HISTORY_FILE: &str = "BENCH_history.jsonl";
+
+/// One recorded perf run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistoryEntry {
+    /// Seconds since the Unix epoch when the run was recorded.
+    pub recorded_unix: u64,
+    /// What produced the entry: `"gate"` (sweep_smoke --gate),
+    /// `"obs-smoke"` (the check.sh observability smoke), or `"manual"`.
+    pub source: String,
+    /// `git rev-parse --short HEAD` at record time, when available.
+    pub git_rev: Option<String>,
+    /// Worker threads the parallel numbers used.
+    pub jobs_n: u64,
+    /// Whether the machine had only one core (parallel numbers are then
+    /// descriptive, not comparable).
+    pub single_core: bool,
+    /// fig8 items/sec, one worker, observability quiet.
+    pub items_per_sec_jobs1: f64,
+    /// fig8 items/sec at `jobs_n` workers, observability quiet.
+    pub items_per_sec_jobs_n: f64,
+    /// Span-collection overhead: quiet vs info items/sec, in percent.
+    pub obs_overhead_pct: f64,
+    /// Million-flow phase timings in seconds (`generate`, `ingest`,
+    /// `fit`, `coalesce`, `curves`, `total`), when the run measured them.
+    pub million_flow_sec: BTreeMap<String, f64>,
+}
+
+impl HistoryEntry {
+    /// Parallel speedup (`jobs_n` over one worker).
+    pub fn speedup(&self) -> f64 {
+        if self.items_per_sec_jobs1 > 0.0 {
+            self.items_per_sec_jobs_n / self.items_per_sec_jobs1
+        } else {
+            0.0
+        }
+    }
+
+    fn to_content(&self) -> serde::Content {
+        serde::Content::Map(vec![
+            (
+                "schema".into(),
+                serde::Content::Str(HISTORY_SCHEMA.to_string()),
+            ),
+            (
+                "recorded_unix".into(),
+                serde::Content::U64(self.recorded_unix),
+            ),
+            ("source".into(), serde::Content::Str(self.source.clone())),
+            (
+                "git_rev".into(),
+                match &self.git_rev {
+                    Some(rev) => serde::Content::Str(rev.clone()),
+                    None => serde::Content::Null,
+                },
+            ),
+            ("jobs_n".into(), serde::Content::U64(self.jobs_n)),
+            ("single_core".into(), serde::Content::Bool(self.single_core)),
+            (
+                "items_per_sec_jobs1".into(),
+                serde::Content::F64(self.items_per_sec_jobs1),
+            ),
+            (
+                "items_per_sec_jobsN".into(),
+                serde::Content::F64(self.items_per_sec_jobs_n),
+            ),
+            (
+                "obs_overhead_pct".into(),
+                serde::Content::F64(self.obs_overhead_pct),
+            ),
+            (
+                "million_flow_sec".into(),
+                serde::Content::Map(
+                    self.million_flow_sec
+                        .iter()
+                        .map(|(k, &v)| (k.clone(), serde::Content::F64(v)))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Renders the entry as one JSON line (no trailing newline).
+    pub fn to_json_line(&self) -> String {
+        struct Wrap(serde::Content);
+        impl serde::Serialize for Wrap {
+            fn to_content(&self) -> serde::Content {
+                self.0.clone()
+            }
+        }
+        serde_json::to_string(&Wrap(self.to_content())).expect("history entry serializes")
+    }
+
+    /// Parses one ledger line. Errors name the missing/mistyped field so
+    /// check.sh failures are actionable.
+    pub fn parse(line: &str) -> Result<HistoryEntry, String> {
+        let v: serde_json::Value =
+            serde_json::from_str(line).map_err(|e| format!("invalid JSON: {e}"))?;
+        let schema = v
+            .get("schema")
+            .and_then(|s| s.as_str())
+            .ok_or("missing schema field")?;
+        if schema != HISTORY_SCHEMA {
+            return Err(format!(
+                "unknown schema {schema:?} (expected {HISTORY_SCHEMA:?})"
+            ));
+        }
+        let num = |field: &str| -> Result<f64, String> {
+            v.get(field)
+                .and_then(|x| x.as_f64())
+                .ok_or_else(|| format!("missing numeric field {field:?}"))
+        };
+        let million_flow_sec = match v.get("million_flow_sec").and_then(|m| m.as_object()) {
+            Some(map) => map
+                .iter()
+                .filter_map(|(k, x)| x.as_f64().map(|f| (k.clone(), f)))
+                .collect(),
+            None => BTreeMap::new(),
+        };
+        Ok(HistoryEntry {
+            recorded_unix: num("recorded_unix")? as u64,
+            source: v
+                .get("source")
+                .and_then(|s| s.as_str())
+                .ok_or("missing source field")?
+                .to_string(),
+            git_rev: v
+                .get("git_rev")
+                .and_then(|s| s.as_str())
+                .map(str::to_string),
+            jobs_n: num("jobs_n")? as u64,
+            single_core: v
+                .get("single_core")
+                .and_then(|b| b.as_bool())
+                .ok_or("missing single_core field")?,
+            items_per_sec_jobs1: num("items_per_sec_jobs1")?,
+            items_per_sec_jobs_n: num("items_per_sec_jobsN")?,
+            obs_overhead_pct: num("obs_overhead_pct")?,
+            million_flow_sec,
+        })
+    }
+}
+
+/// The current time as seconds since the Unix epoch.
+pub fn now_unix() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}
+
+/// Appends one entry to the ledger at `path` (created if absent).
+pub fn append(path: &Path, entry: &HistoryEntry) -> std::io::Result<()> {
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    writeln!(file, "{}", entry.to_json_line())
+}
+
+/// Reads every entry from the ledger at `path`, in file order. Blank
+/// lines are skipped; a malformed line is an error naming its number.
+pub fn read(path: &Path) -> Result<Vec<HistoryEntry>, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let mut entries = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        entries.push(
+            HistoryEntry::parse(line).map_err(|e| format!("{}:{}: {e}", path.display(), i + 1))?,
+        );
+    }
+    Ok(entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(source: &str, ips: f64) -> HistoryEntry {
+        HistoryEntry {
+            recorded_unix: 1_754_000_000,
+            source: source.to_string(),
+            git_rev: Some("abc1234".to_string()),
+            jobs_n: 8,
+            single_core: false,
+            items_per_sec_jobs1: ips,
+            items_per_sec_jobs_n: ips * 4.0,
+            obs_overhead_pct: 1.5,
+            million_flow_sec: [("total".to_string(), 12.5)].into_iter().collect(),
+        }
+    }
+
+    #[test]
+    fn entry_round_trips_through_json_line() {
+        let entry = sample("gate", 30.0);
+        let parsed = HistoryEntry::parse(&entry.to_json_line()).expect("parses");
+        assert_eq!(parsed, entry);
+        assert!((parsed.speedup() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn append_and_read_accumulate_in_order() {
+        let path = std::env::temp_dir().join(format!("transit_history_{}.jsonl", std::process::id()));
+        std::fs::remove_file(&path).ok();
+        append(&path, &sample("gate", 30.0)).expect("append 1");
+        append(&path, &sample("obs-smoke", 25.0)).expect("append 2");
+        let entries = read(&path).expect("reads");
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].source, "gate");
+        assert_eq!(entries[1].source, "obs-smoke");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn unknown_schema_and_malformed_lines_are_rejected() {
+        assert!(HistoryEntry::parse("{\"schema\":\"nope/v9\"}").is_err());
+        assert!(HistoryEntry::parse("not json").is_err());
+        let missing = "{\"schema\":\"transit-bench/history/v1\",\"source\":\"gate\"}";
+        let err = HistoryEntry::parse(missing).unwrap_err();
+        assert!(err.contains("recorded_unix"), "{err}");
+    }
+
+    #[test]
+    fn git_rev_null_round_trips_as_none() {
+        let entry = HistoryEntry {
+            git_rev: None,
+            ..sample("manual", 10.0)
+        };
+        let parsed = HistoryEntry::parse(&entry.to_json_line()).expect("parses");
+        assert_eq!(parsed.git_rev, None);
+    }
+}

@@ -15,6 +15,15 @@
 //!   paper's gradient heuristic, DP ordering count, and flow-aggregation
 //!   granularity.
 
+//!
+//! Beyond the criterion suites, the crate owns the **bench-history
+//! ledger** ([`history`]): `sweep_smoke --gate` and the check.sh
+//! obs-smoke append one schema-versioned JSON line per run to
+//! `BENCH_history.jsonl`, and the `obs_report` bin renders the ledger as
+//! a markdown perf report with deltas between consecutive entries.
+
+pub mod history;
+
 /// The reduced flow count shared by the figure benches.
 pub const BENCH_FLOWS: usize = 80;
 

@@ -34,9 +34,16 @@ pub struct ExperimentConfig {
     /// identical at every level; this only gates span collection.
     pub log_level: transit_obs::Level,
     /// Directory for observability sidecars (`--profile`): the run
-    /// manifest, Prometheus metrics, and per-experiment timing files.
-    /// `None` disables sidecar emission.
+    /// manifest, Prometheus metrics, per-experiment timing files, and —
+    /// with observability v2 — the streaming `events.jsonl` journal and
+    /// its `trace.json` Chrome-trace export. `None` disables sidecar
+    /// emission.
     pub profile: Option<String>,
+    /// Address for the live metrics endpoint (`--serve-metrics`, e.g.
+    /// `127.0.0.1:9464`; port 0 for OS-assigned). Serves Prometheus text
+    /// at `/metrics`, span-tree JSON at `/spans`, and `/healthz` for the
+    /// lifetime of the run. `None` (the default) binds nothing.
+    pub serve_metrics: Option<String>,
 }
 
 impl Default for ExperimentConfig {
@@ -53,6 +60,7 @@ impl Default for ExperimentConfig {
             dp_threads: 1,
             log_level: transit_obs::Level::Info,
             profile: None,
+            serve_metrics: None,
         }
     }
 }

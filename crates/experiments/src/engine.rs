@@ -43,6 +43,34 @@ pub struct ItemTiming {
     pub seconds: f64,
 }
 
+/// Registers `# HELP` text for the sweep metrics (first writer wins;
+/// one `OnceLock` so repeated sweeps don't re-take the help lock).
+fn describe_sweep_metrics() {
+    static ONCE: std::sync::OnceLock<()> = std::sync::OnceLock::new();
+    ONCE.get_or_init(|| {
+        transit_obs::metrics::describe(
+            "sweep.items.completed",
+            "Work items completed across all sweep runs",
+        );
+        transit_obs::metrics::describe(
+            "sweep.item_micros",
+            "Wall-clock microseconds per completed sweep item",
+        );
+        transit_obs::metrics::describe(
+            "sweep.queue.drains",
+            "Worker threads that drained the shared work queue",
+        );
+        transit_obs::metrics::describe(
+            transit_core::cache::HITS_COUNTER,
+            "Fingerprint-cache lookups that reused a cached artifact",
+        );
+        transit_obs::metrics::describe(
+            transit_core::cache::MISSES_COUNTER,
+            "Fingerprint-cache lookups that had to compute the artifact",
+        );
+    });
+}
+
 /// A scoped thread pool that maps a closure over a work-item list,
 /// merging results in deterministic item order.
 #[derive(Debug, Clone, Copy)]
@@ -98,6 +126,7 @@ impl SweepEngine {
         if n == 0 {
             return Vec::new();
         }
+        describe_sweep_metrics();
         let workers = self.jobs.min(n).max(1);
         let next = AtomicUsize::new(0);
 
@@ -138,6 +167,16 @@ impl SweepEngine {
                             transit_obs::histogram!("sweep.item_micros")
                                 .record(elapsed.as_micros().min(u128::from(u64::MAX)) as u64);
                             transit_obs::counter!("sweep.items.completed").inc();
+                            if transit_obs::journal::is_enabled() {
+                                transit_obs::journal::counter_sample(
+                                    "sweep.items.completed",
+                                    transit_obs::counter!("sweep.items.completed").get(),
+                                );
+                                transit_obs::journal::counter_sample(
+                                    transit_core::cache::HITS_COUNTER,
+                                    transit_obs::counter!(transit_core::cache::HITS_COUNTER).get(),
+                                );
+                            }
                             out.push((i, (r, elapsed)));
                         }
                         transit_obs::counter!("sweep.queue.drains").inc();

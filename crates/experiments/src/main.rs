@@ -7,7 +7,7 @@ use transit_experiments::{run, ExperimentConfig, ALL_IDS, EXTENSION_IDS, SENSITI
 fn usage() -> String {
     format!(
         "usage: transit-experiments <experiment|all|full|ext> [--json] [--chart] [--quick] [--flows N] [--seed S] [--jobs N] [--dp-threads N] [--out DIR]\n\
-         \x20                          [--only ID] [--profile DIR] [--log-level quiet|info|debug]\n\
+         \x20                          [--only ID] [--profile DIR] [--serve-metrics ADDR] [--log-level quiet|info|debug]\n\
          experiments: {} {} {}",
         ALL_IDS.join(" "),
         SENSITIVITY_IDS.join(" "),
@@ -86,6 +86,13 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--serve-metrics" => match it.next() {
+                Some(addr) => config.serve_metrics = Some(addr.clone()),
+                None => {
+                    eprintln!("--serve-metrics needs an address (e.g. 127.0.0.1:9464)\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
             "--log-level" => match it.next().map(|v| v.parse()) {
                 Some(Ok(level)) => config.log_level = level,
                 _ => {
@@ -105,6 +112,26 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     };
     transit_obs::set_log_level(config.log_level);
+    if let Some(profile_dir) = &config.profile {
+        if let Err(e) = transit_obs::journal::enable(std::path::Path::new(profile_dir)) {
+            eprintln!("failed to open event journal under {profile_dir}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    // Bound to a guard: dropping it (end of main) shuts the server down.
+    let _metrics_server = match &config.serve_metrics {
+        Some(addr) => match transit_obs::serve_metrics(addr) {
+            Ok(server) => {
+                eprintln!("serving /metrics /spans /healthz on http://{}", server.addr());
+                Some(server)
+            }
+            Err(e) => {
+                eprintln!("failed to bind --serve-metrics {addr}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
 
     let ids: Vec<&str> = match target.as_str() {
         "all" => ALL_IDS.to_vec(),

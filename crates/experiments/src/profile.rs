@@ -8,6 +8,9 @@
 //! * `metrics.prom` — the same metric snapshot in Prometheus text format.
 //! * `<id>.timings.json` — per-experiment item timings, one file per
 //!   experiment that reported any.
+//! * `events.jsonl` + `trace.json` — when the event journal is enabled
+//!   (the CLI enables it for `--profile` runs), the streamed timeline
+//!   and its Chrome/Perfetto `trace_event` export.
 //!
 //! Everything here reads state the run already produced; nothing feeds
 //! back into figure JSON, so profiled and unprofiled runs emit
@@ -65,7 +68,12 @@ pub fn write_profile(
         runs.iter().map(|(id, _)| id.clone()).collect(),
         manifest_timings,
     );
-    manifest.write_to(dir)
+    let manifest_path = manifest.write_to(dir)?;
+    // Journal finalization rides along with manifest emission: flush any
+    // buffered events and convert the journal to trace.json. A no-op
+    // (Ok(None)) when the journal was never enabled.
+    transit_obs::trace::finalize_journal()?;
+    Ok(manifest_path)
 }
 
 #[cfg(test)]

@@ -29,6 +29,10 @@ pub const EXTENSION_IDS: [&str; 5] = ["ext1", "ext2", "ext3", "ext4", "summary"]
 
 /// Runs one experiment by id.
 pub fn run(id: &str, config: &ExperimentConfig) -> Result<Option<ExperimentResult>> {
+    // Phase markers segment the event journal timeline per experiment
+    // (and force an eager drain, so a killed multi-experiment run keeps
+    // every completed phase).
+    transit_obs::journal::phase(id);
     let _span = transit_obs::span!("experiment", id = id);
     transit_obs::counter!("experiments.runs").inc();
     let dp_threads = if config.dp_threads == 0 {

@@ -39,6 +39,25 @@ pub const LOST_RECORDS_COUNTER: &str = "netflow.collector.lost_records";
 /// Registry counter: records routed through the sharded batch path.
 pub const SHARDED_RECORDS_COUNTER: &str = "netflow.collector.sharded_records";
 
+/// Registers `# HELP` text for the collector counters (once per
+/// process; first writer wins).
+fn describe_collector_metrics() {
+    static ONCE: std::sync::OnceLock<()> = std::sync::OnceLock::new();
+    ONCE.get_or_init(|| {
+        transit_obs::metrics::describe(DATAGRAMS_COUNTER, "Export datagrams ingested");
+        transit_obs::metrics::describe(RECORDS_COUNTER, "Flow records ingested");
+        transit_obs::metrics::describe(DECODE_ERRORS_COUNTER, "Malformed datagrams dropped");
+        transit_obs::metrics::describe(
+            LOST_RECORDS_COUNTER,
+            "Records known lost to export-datagram drops (per-router sequence gaps)",
+        );
+        transit_obs::metrics::describe(
+            SHARDED_RECORDS_COUNTER,
+            "Records routed through the sharded batch path",
+        );
+    });
+}
+
 /// Per-router observation of one flow.
 #[derive(Debug, Clone, Copy, Default)]
 struct Observation {
@@ -108,6 +127,7 @@ impl Collector {
     /// the shard count; shards only bound the parallelism of
     /// [`Collector::ingest_batch`].
     pub fn with_shards(n_shards: usize) -> Collector {
+        describe_collector_metrics();
         Collector {
             shards: (0..n_shards.max(1)).map(|_| FlowShard::new()).collect(),
             next_sequence: HashMap::new(),
@@ -137,6 +157,12 @@ impl Collector {
             Err(e) => {
                 self.decode_errors += 1;
                 transit_obs::counter!(DECODE_ERRORS_COUNTER).inc();
+                // Drops are rare and diagnostic: worth a journal sample
+                // each so the timeline shows exactly when ingest went bad.
+                transit_obs::journal::counter_sample(
+                    DECODE_ERRORS_COUNTER,
+                    transit_obs::counter!(DECODE_ERRORS_COUNTER).get(),
+                );
                 return Err(e);
             }
         };
@@ -156,6 +182,10 @@ impl Collector {
                 if gap > 0 && gap < u32::MAX / 2 {
                     *self.lost.entry(router).or_default() += gap as u64;
                     transit_obs::counter!(LOST_RECORDS_COUNTER).add(gap as u64);
+                    transit_obs::journal::counter_sample(
+                        LOST_RECORDS_COUNTER,
+                        transit_obs::counter!(LOST_RECORDS_COUNTER).get(),
+                    );
                 }
             }
             None => {

@@ -17,9 +17,23 @@
 //!   `run_manifest.json` and `metrics.prom` sidecar files (see
 //!   [`manifest`]).
 //!
+//! On top of those, the streaming layer (observability v2):
+//!
+//! * [`journal`] — an opt-in event journal recording span begin/end,
+//!   counter samples, and run-phase markers to `events.jsonl` with
+//!   per-thread buffers and incremental flushes, so a killed run still
+//!   leaves a usable timeline.
+//! * [`trace`] — converts a journal into a Chrome/Perfetto
+//!   `trace_event` file (`trace.json`) with guaranteed-balanced B/E
+//!   pairs per thread.
+//! * [`serve`] — a `std::net` HTTP thread exposing `/metrics`
+//!   (Prometheus text), `/spans` (span-tree JSON), and `/healthz`
+//!   while a run is in flight.
+//!
 //! Collection is gated by a process-wide [`Level`]: `quiet` disables
 //! spans entirely (counters stay live — they back `cache_stats()`-style
-//! shims and cost one relaxed atomic add).
+//! shims and cost one relaxed atomic add). The journal is gated
+//! separately by [`journal::enable`] and is off by default.
 //!
 //! ```
 //! transit_obs::set_log_level(transit_obs::Level::Info);
@@ -34,10 +48,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod journal;
 pub mod level;
 pub mod manifest;
 pub mod metrics;
+pub mod serve;
 pub mod span;
+pub mod trace;
 
 pub use level::{level_enabled, log_level, set_log_level, Level};
 pub use manifest::{git_rev, RunManifest, RunTimings};
@@ -45,6 +62,7 @@ pub use metrics::{
     reset as reset_metrics, snapshot as snapshot_metrics, Counter, Histogram, HistogramSnapshot,
     MetricsSnapshot,
 };
+pub use serve::{serve as serve_metrics, MetricsServer};
 pub use span::{
     batch_flushes, current_path, inherit_path, reset_spans, snapshot_spans, FlushBatch, Span,
     SpanNode,

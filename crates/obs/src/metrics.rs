@@ -201,6 +201,12 @@ impl HistogramSnapshot {
         }
         self.max
     }
+
+    /// The `(p50, p95, p99)` estimates exposed by the run manifest and
+    /// the Prometheus `_quantile` gauge lines.
+    pub fn percentiles(&self) -> (u64, u64, u64) {
+        (self.quantile(0.5), self.quantile(0.95), self.quantile(0.99))
+    }
 }
 
 impl serde::Serialize for HistogramSnapshot {
@@ -213,6 +219,7 @@ impl serde::Serialize for HistogramSnapshot {
             ("mean".into(), serde::Content::F64(self.mean())),
             ("p50".into(), serde::Content::U64(self.quantile(0.5))),
             ("p95".into(), serde::Content::U64(self.quantile(0.95))),
+            ("p99".into(), serde::Content::U64(self.quantile(0.99))),
             (
                 "buckets".into(),
                 serde::Content::Seq(
@@ -234,6 +241,7 @@ impl serde::Serialize for HistogramSnapshot {
 struct Registry {
     counters: Mutex<BTreeMap<String, &'static Counter>>,
     histograms: Mutex<BTreeMap<String, &'static Histogram>>,
+    help: Mutex<BTreeMap<String, String>>,
 }
 
 fn registry() -> &'static Registry {
@@ -241,7 +249,49 @@ fn registry() -> &'static Registry {
     REGISTRY.get_or_init(|| Registry {
         counters: Mutex::new(BTreeMap::new()),
         histograms: Mutex::new(BTreeMap::new()),
+        help: Mutex::new(BTreeMap::new()),
     })
+}
+
+/// Attaches Prometheus `# HELP` text to the metric named `name` (first
+/// writer wins; help survives [`reset`]). The text may contain any
+/// characters — the exposition escapes backslashes and newlines per the
+/// Prometheus text format.
+pub fn describe(name: &str, help: &str) {
+    registry()
+        .help
+        .lock()
+        .expect("metrics registry poisoned")
+        .entry(name.to_string())
+        .or_insert_with(|| help.to_string());
+}
+
+/// Escapes a `# HELP` line payload: `\` → `\\`, newline → `\n` (the only
+/// escapes the Prometheus text format defines for help text).
+pub fn escape_help(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escapes a label value: `\` → `\\`, `"` → `\"`, newline → `\n`.
+pub fn escape_label_value(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 /// The counter registered under `name`, interning it on first use.
@@ -278,6 +328,8 @@ pub struct MetricsSnapshot {
     pub counters: BTreeMap<String, u64>,
     /// Histogram snapshots by name.
     pub histograms: BTreeMap<String, HistogramSnapshot>,
+    /// `# HELP` text by metric name (only described metrics appear).
+    pub help: BTreeMap<String, String>,
 }
 
 impl MetricsSnapshot {
@@ -293,7 +345,11 @@ impl MetricsSnapshot {
     }
 
     /// Renders every metric in Prometheus text exposition format.
-    /// Metric names are sanitized (`[^a-zA-Z0-9_:]` → `_`).
+    /// Metric names are sanitized (`[^a-zA-Z0-9_:]` → `_`); help text
+    /// and label values are escaped per the format (backslash, newline,
+    /// and — for label values — double quote). Histograms additionally
+    /// expose `p50`/`p95`/`p99` estimates as `{name}_quantile` gauge
+    /// lines labeled `quantile="0.5"` etc.
     pub fn to_prometheus(&self) -> String {
         fn sanitize(name: &str) -> String {
             name.chars()
@@ -307,25 +363,170 @@ impl MetricsSnapshot {
                 .collect()
         }
         let mut out = String::new();
+        let help_line = |raw_name: &str, sanitized: &str, out: &mut String| {
+            if let Some(help) = self.help.get(raw_name) {
+                out.push_str(&format!("# HELP {sanitized} {}\n", escape_help(help)));
+            }
+        };
         for (name, value) in &self.counters {
-            let name = sanitize(name);
-            out.push_str(&format!("# TYPE {name} counter\n{name} {value}\n"));
+            let sname = sanitize(name);
+            help_line(name, &sname, &mut out);
+            out.push_str(&format!("# TYPE {sname} counter\n{sname} {value}\n"));
         }
         for (name, h) in &self.histograms {
-            let name = sanitize(name);
-            out.push_str(&format!("# TYPE {name} histogram\n"));
+            let sname = sanitize(name);
+            help_line(name, &sname, &mut out);
+            out.push_str(&format!("# TYPE {sname} histogram\n"));
             let mut cumulative = 0u64;
             for &(lower, n) in &h.buckets {
                 cumulative += n;
                 let le = bucket_upper(bucket_index(lower));
-                out.push_str(&format!("{name}_bucket{{le=\"{le}\"}} {cumulative}\n"));
+                out.push_str(&format!("{sname}_bucket{{le=\"{le}\"}} {cumulative}\n"));
             }
-            out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {}\n", h.count));
-            out.push_str(&format!("{name}_sum {}\n", h.sum));
-            out.push_str(&format!("{name}_count {}\n", h.count));
+            out.push_str(&format!("{sname}_bucket{{le=\"+Inf\"}} {}\n", h.count));
+            out.push_str(&format!("{sname}_sum {}\n", h.sum));
+            out.push_str(&format!("{sname}_count {}\n", h.count));
+            let (p50, p95, p99) = h.percentiles();
+            out.push_str(&format!("# TYPE {sname}_quantile gauge\n"));
+            for (q, v) in [("0.5", p50), ("0.95", p95), ("0.99", p99)] {
+                out.push_str(&format!(
+                    "{sname}_quantile{{quantile=\"{}\"}} {v}\n",
+                    escape_label_value(q)
+                ));
+            }
         }
         out
     }
+}
+
+/// Validates Prometheus text-exposition output: comment lines must be
+/// well-formed `# HELP`/`# TYPE` lines with legal escapes, sample lines
+/// must parse as `name[{labels}] value` with a legal metric name,
+/// correctly escaped label values, and a numeric value, and every sample
+/// must belong to a previously `# TYPE`-declared family (histogram
+/// samples may use the `_bucket`/`_sum`/`_count` suffixes). Returns the
+/// first violation found.
+pub fn validate_prometheus_text(text: &str) -> Result<(), String> {
+    fn valid_name(name: &str) -> bool {
+        let mut chars = name.chars();
+        match chars.next() {
+            Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+            _ => return false,
+        }
+        chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+    }
+    // Only `\\` and `\n` (help) or `\\`, `\n`, `\"` (label values) are
+    // legal escape sequences.
+    fn valid_escapes(text: &str, allow_quote: bool) -> bool {
+        let mut chars = text.chars();
+        while let Some(c) = chars.next() {
+            if c == '\\' {
+                match chars.next() {
+                    Some('\\') | Some('n') => {}
+                    Some('"') if allow_quote => {}
+                    _ => return false,
+                }
+            }
+        }
+        true
+    }
+    let mut declared: BTreeMap<String, String> = BTreeMap::new();
+    for (idx, line) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            let rest = comment.trim_start();
+            if let Some(help) = rest.strip_prefix("HELP ") {
+                let (name, payload) = help
+                    .split_once(' ')
+                    .ok_or_else(|| format!("line {lineno}: HELP without payload"))?;
+                if !valid_name(name) {
+                    return Err(format!("line {lineno}: bad HELP metric name {name:?}"));
+                }
+                if !valid_escapes(payload, false) {
+                    return Err(format!("line {lineno}: illegal escape in HELP text"));
+                }
+            } else if let Some(decl) = rest.strip_prefix("TYPE ") {
+                let (name, kind) = decl
+                    .split_once(' ')
+                    .ok_or_else(|| format!("line {lineno}: TYPE without kind"))?;
+                if !valid_name(name) {
+                    return Err(format!("line {lineno}: bad TYPE metric name {name:?}"));
+                }
+                if !["counter", "gauge", "histogram", "summary", "untyped"].contains(&kind) {
+                    return Err(format!("line {lineno}: unknown TYPE kind {kind:?}"));
+                }
+                declared.insert(name.to_string(), kind.to_string());
+            } else {
+                return Err(format!("line {lineno}: comment is neither HELP nor TYPE"));
+            }
+            continue;
+        }
+        // Sample line: name[{labels}] value
+        let (name_labels, value) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| format!("line {lineno}: sample without value"))?;
+        if value.parse::<f64>().is_err() && value != "+Inf" && value != "-Inf" && value != "NaN" {
+            return Err(format!("line {lineno}: non-numeric value {value:?}"));
+        }
+        let name = match name_labels.split_once('{') {
+            None => name_labels,
+            Some((name, labels)) => {
+                let labels = labels
+                    .strip_suffix('}')
+                    .ok_or_else(|| format!("line {lineno}: unterminated label set"))?;
+                // Parse `key="value",...` respecting escapes.
+                let mut rest = labels;
+                while !rest.is_empty() {
+                    let (key, after_eq) = rest
+                        .split_once("=\"")
+                        .ok_or_else(|| format!("line {lineno}: label without =\" in {labels:?}"))?;
+                    if !valid_name(key) {
+                        return Err(format!("line {lineno}: bad label name {key:?}"));
+                    }
+                    // Find the closing unescaped quote.
+                    let mut end = None;
+                    let bytes = after_eq.as_bytes();
+                    let mut i = 0;
+                    while i < bytes.len() {
+                        match bytes[i] {
+                            b'\\' => i += 2,
+                            b'"' => {
+                                end = Some(i);
+                                break;
+                            }
+                            _ => i += 1,
+                        }
+                    }
+                    let end =
+                        end.ok_or_else(|| format!("line {lineno}: unterminated label value"))?;
+                    if !valid_escapes(&after_eq[..end], true) {
+                        return Err(format!("line {lineno}: illegal escape in label value"));
+                    }
+                    rest = after_eq[end + 1..].trim_start_matches(',');
+                }
+                name
+            }
+        };
+        if !valid_name(name) {
+            return Err(format!("line {lineno}: bad metric name {name:?}"));
+        }
+        // Family membership: exact gauge/counter name, or histogram
+        // suffixes on a declared histogram.
+        let known = declared.contains_key(name)
+            || ["_bucket", "_sum", "_count"].iter().any(|suffix| {
+                name.strip_suffix(suffix)
+                    .is_some_and(|base| declared.get(base).map(String::as_str) == Some("histogram"))
+            });
+        if !known {
+            return Err(format!(
+                "line {lineno}: sample {name:?} has no preceding # TYPE declaration"
+            ));
+        }
+    }
+    Ok(())
 }
 
 impl serde::Serialize for MetricsSnapshot {
@@ -370,9 +571,11 @@ pub fn snapshot() -> MetricsSnapshot {
         .iter()
         .map(|(name, h)| (name.clone(), h.snapshot()))
         .collect();
+    let help = reg.help.lock().expect("metrics registry poisoned").clone();
     MetricsSnapshot {
         counters,
         histograms,
+        help,
     }
 }
 
@@ -502,5 +705,107 @@ mod tests {
         counter("metrics_test.delta").add(9);
         let after = snapshot();
         assert!(after.counter_delta(&before, "metrics_test.delta") >= 9);
+    }
+
+    #[test]
+    fn quantiles_on_exact_buckets_are_exact() {
+        // Values below 8 land in single-value buckets, so the quantile
+        // estimate is exact there: no bucket-width slack to hide bugs.
+        let h = histogram("metrics_test.q_exact");
+        for v in [1u64, 2, 3, 4] {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.quantile(0.0), 1, "q=0 is the min bucket");
+        assert_eq!(snap.quantile(0.25), 1);
+        assert_eq!(snap.quantile(0.5), 2);
+        assert_eq!(snap.quantile(0.75), 3);
+        assert_eq!(snap.quantile(1.0), 4);
+        assert_eq!(snap.percentiles(), (2, 4, 4));
+    }
+
+    #[test]
+    fn quantiles_at_bucket_boundaries_return_the_lower_bound() {
+        // 16 and 17 share a bucket (second octave, width 2): the
+        // estimate for both is the bucket's lower bound, 16.
+        assert_eq!(bucket_index(16), bucket_index(17));
+        let h = histogram("metrics_test.q_boundary");
+        h.record(17);
+        assert_eq!(h.snapshot().quantile(0.5), 16);
+
+        // 15 → 16 crosses a bucket boundary; each keeps its own bucket.
+        let h2 = histogram("metrics_test.q_boundary2");
+        h2.record(15);
+        h2.record(16);
+        let snap = h2.snapshot();
+        assert_eq!(snap.quantile(0.5), 15);
+        assert_eq!(snap.quantile(1.0), 16);
+    }
+
+    #[test]
+    fn quantile_rank_rounding_skews_high_not_low() {
+        // With 3 samples, q=0.5 has rank ceil(1.5)=2: the middle sample,
+        // never the lower neighbor.
+        let h = histogram("metrics_test.q_rank");
+        for v in [1u64, 2, 3] {
+            h.record(v);
+        }
+        assert_eq!(h.snapshot().quantile(0.5), 2);
+        // Out-of-range q clamps instead of panicking.
+        assert_eq!(h.snapshot().quantile(-1.0), 1);
+        assert_eq!(h.snapshot().quantile(2.0), 3);
+    }
+
+    #[test]
+    fn quantiles_of_heavy_tail_land_within_one_bucket() {
+        let h = histogram("metrics_test.q_tail");
+        for _ in 0..99 {
+            h.record(10);
+        }
+        h.record(1_000_000);
+        let snap = h.snapshot();
+        assert_eq!(snap.quantile(0.5), bucket_lower(bucket_index(10)));
+        assert_eq!(snap.quantile(0.99), bucket_lower(bucket_index(10)));
+        // p100 reaches the outlier's bucket.
+        let p100 = snap.quantile(1.0);
+        assert_eq!(p100, bucket_lower(bucket_index(1_000_000)));
+        // Relative error bound from bucket width: ≤ 12.5%.
+        assert!((1_000_000 - p100) as f64 / 1_000_000.0 <= 0.125);
+    }
+
+    #[test]
+    fn prometheus_output_has_quantile_gauges_and_help() {
+        describe("metrics_test.q_prom", "latency in micros\nsecond line \\ end");
+        let h = histogram("metrics_test.q_prom");
+        for v in [1u64, 2, 3, 4] {
+            h.record(v);
+        }
+        let text = snapshot().to_prometheus();
+        assert!(
+            text.contains("# HELP metrics_test_q_prom latency in micros\\nsecond line \\\\ end"),
+            "help line missing or unescaped:\n{text}"
+        );
+        assert!(text.contains("# TYPE metrics_test_q_prom_quantile gauge"));
+        for q in ["0.5", "0.95", "0.99"] {
+            assert!(
+                text.contains(&format!("metrics_test_q_prom_quantile{{quantile=\"{q}\"}}")),
+                "missing {q} quantile line:\n{text}"
+            );
+        }
+        validate_prometheus_text(&text).expect("full dump conforms");
+    }
+
+    #[test]
+    fn help_and_label_escaping_round_trip() {
+        assert_eq!(escape_help("plain"), "plain");
+        assert_eq!(escape_help("a\\b\nc"), "a\\\\b\\nc");
+        assert_eq!(escape_label_value("say \"hi\"\n"), "say \\\"hi\\\"\\n");
+        // describe is first-writer-wins.
+        describe("metrics_test.first_help", "first");
+        describe("metrics_test.first_help", "second");
+        assert_eq!(
+            snapshot().help.get("metrics_test.first_help").map(String::as_str),
+            Some("first")
+        );
     }
 }

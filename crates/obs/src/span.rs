@@ -136,6 +136,7 @@ impl Span {
         } else {
             format!("{name}({labels})")
         };
+        crate::journal::span_begin(&key);
         STACK.with(|stack| {
             stack.borrow_mut().push(Frame {
                 key,
@@ -160,6 +161,7 @@ impl Drop for Span {
         let root = STACK.with(|stack| {
             let mut stack = stack.borrow_mut();
             let frame = stack.pop().expect("span stack underflow");
+            crate::journal::span_end(&frame.key);
             let node = SpanNode {
                 count: 1,
                 nanos: frame.start.elapsed().as_nanos(),

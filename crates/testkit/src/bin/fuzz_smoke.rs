@@ -3,6 +3,7 @@
 //! ```text
 //! fuzz_smoke [--corpus DIR] [--scenarios N] [--budget-secs N]
 //!            [--seeds A,B,C] [--emit-corpus DIR] [--log-level LEVEL]
+//!            [--profile DIR]
 //! ```
 //!
 //! Two phases, both gating:
@@ -18,6 +19,12 @@
 //!
 //! `--emit-corpus DIR` instead regenerates the curated corpus set into
 //! `DIR` (verifying each case passes) and exits.
+//!
+//! `--profile DIR` gives fuzz runs the same observability sidecars as
+//! sweeps: the event journal streams to `DIR/events.jsonl` while the
+//! run executes, and on exit (pass or fail) the run manifest,
+//! `metrics.prom` (with the `testkit.*` scenario/verdict counters), and
+//! the Chrome-trace `trace.json` are written to `DIR`.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -36,6 +43,7 @@ struct Args {
     seeds: Vec<u64>,
     emit_corpus: Option<PathBuf>,
     log_level: Level,
+    profile: Option<PathBuf>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -46,6 +54,7 @@ fn parse_args() -> Result<Args, String> {
         seeds: vec![42, 1337, 2011],
         emit_corpus: None,
         log_level: Level::Info,
+        profile: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -69,6 +78,7 @@ fn parse_args() -> Result<Args, String> {
                     .collect::<Result<_, _>>()?;
             }
             "--emit-corpus" => args.emit_corpus = Some(PathBuf::from(value("--emit-corpus")?)),
+            "--profile" => args.profile = Some(PathBuf::from(value("--profile")?)),
             "--log-level" => {
                 args.log_level = match value("--log-level")?.as_str() {
                     "quiet" => Level::Quiet,
@@ -309,6 +319,46 @@ fn replay_corpus(dir: &Path) -> Result<usize, String> {
     Ok(replayed)
 }
 
+/// Writes the observability sidecars for a `--profile DIR` fuzz run:
+/// the run manifest (fuzz config + `testkit.*` counters), metrics.prom,
+/// and the finalized journal's trace.json.
+fn write_profile_sidecars(
+    dir: &Path,
+    args: &Args,
+    timings: &[(String, f64)],
+) -> std::io::Result<()> {
+    let config = serde::Content::Map(vec![
+        (
+            "corpus".to_string(),
+            serde::Content::Str(args.corpus.display().to_string()),
+        ),
+        (
+            "scenarios".to_string(),
+            serde::Content::U64(args.scenarios as u64),
+        ),
+        (
+            "budget_secs".to_string(),
+            serde::Content::U64(args.budget_secs),
+        ),
+        (
+            "seeds".to_string(),
+            serde::Content::Seq(args.seeds.iter().map(|&s| serde::Content::U64(s)).collect()),
+        ),
+    ]);
+    let mut manifest_timings = std::collections::BTreeMap::new();
+    manifest_timings.insert("fuzz_smoke".to_string(), timings.to_vec());
+    let manifest = transit_obs::RunManifest::capture(
+        config,
+        args.seeds[0],
+        1,
+        vec!["fuzz_smoke".to_string()],
+        manifest_timings,
+    );
+    manifest.write_to(dir)?;
+    transit_obs::trace::finalize_journal()?;
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
@@ -323,9 +373,34 @@ fn main() -> ExitCode {
         return emit_corpus(dir);
     }
 
+    if let Some(dir) = &args.profile {
+        if let Err(e) = transit_obs::journal::enable(dir) {
+            eprintln!("fuzz_smoke: cannot open event journal under {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    let mut timings: Vec<(String, f64)> = Vec::new();
+    let code = run_phases(&args, &mut timings);
+    // Sidecars are written on every exit path — a diverging fuzz run is
+    // exactly when the timeline and counters are worth keeping.
+    if let Some(dir) = &args.profile {
+        match write_profile_sidecars(dir, &args, &timings) {
+            Ok(()) => println!("wrote profile sidecars to {}", dir.display()),
+            Err(e) => {
+                eprintln!("fuzz_smoke: cannot write profile sidecars: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    code
+}
+
+fn run_phases(args: &Args, timings: &mut Vec<(String, f64)>) -> ExitCode {
     let _root = span!("fuzz_smoke");
 
     // Phase 1: corpus replay.
+    transit_obs::journal::phase("corpus_replay");
+    let replay_start = std::time::Instant::now();
     let replayed = {
         let _span = span!("fuzz_smoke.corpus_replay");
         match replay_corpus(&args.corpus) {
@@ -339,8 +414,11 @@ fn main() -> ExitCode {
             }
         }
     };
+    timings.push(("corpus_replay".to_string(), replay_start.elapsed().as_secs_f64()));
 
     // Phase 2: budgeted fuzz.
+    transit_obs::journal::phase("fuzz");
+    let fuzz_start = std::time::Instant::now();
     let seed_list = args
         .seeds
         .iter()
@@ -359,6 +437,7 @@ fn main() -> ExitCode {
             budget: Duration::from_secs(args.budget_secs),
         })
     };
+    timings.push(("fuzz".to_string(), fuzz_start.elapsed().as_secs_f64()));
     println!("fuzz: {}", outcome.summary());
 
     if let Some(failure) = &outcome.failure {

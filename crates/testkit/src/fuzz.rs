@@ -105,9 +105,43 @@ fn family_counter(family: Family) -> &'static transit_obs::Counter {
     }
 }
 
+/// Registers `# HELP` text for the `testkit.*` counters so profiled
+/// fuzz runs emit a self-describing `metrics.prom`.
+fn describe_fuzz_metrics() {
+    static ONCE: std::sync::OnceLock<()> = std::sync::OnceLock::new();
+    ONCE.get_or_init(|| {
+        transit_obs::metrics::describe("testkit.scenarios", "Fuzz scenarios generated and checked");
+        transit_obs::metrics::describe(
+            "testkit.skipped",
+            "Scenarios whose oracle declined to assert (degenerate input)",
+        );
+        transit_obs::metrics::describe(
+            "testkit.divergences",
+            "Scenarios where an implementation diverged from its exactness oracle",
+        );
+        transit_obs::metrics::describe(
+            "testkit.coalesce.scenarios",
+            "Scenarios drawn from the coalesce oracle family",
+        );
+        transit_obs::metrics::describe(
+            "testkit.tiled_dp.scenarios",
+            "Scenarios drawn from the tiled-DP oracle family",
+        );
+        transit_obs::metrics::describe(
+            "testkit.series.scenarios",
+            "Scenarios drawn from the bundle-series oracle family",
+        );
+        transit_obs::metrics::describe(
+            "testkit.ingest.scenarios",
+            "Scenarios drawn from the fault-injected ingest oracle family",
+        );
+    });
+}
+
 /// Runs the fuzz loop until the scenario target, the budget, or the
 /// first divergence (which is greedily shrunk before returning).
 pub fn run_fuzz(config: &FuzzConfig) -> FuzzOutcome {
+    describe_fuzz_metrics();
     let seeds = if config.seeds.is_empty() {
         vec![0]
     } else {

@@ -45,4 +45,20 @@ cargo run --release -q -p transit-bench --bin sweep_smoke -- --smoke 100000 120
 echo "== perf gate (fresh run vs committed BENCH_sweep.json) =="
 cargo run --release -q -p transit-bench --bin sweep_smoke -- --gate BENCH_sweep.json
 
+# Observability smoke: run a short sweep with the journal and the live
+# /metrics endpoint enabled, scrape /healthz and /metrics mid-run
+# (every body is parsed by the Prometheus validator), then check the
+# written artifacts — events.jsonl must be schema-valid with balanced
+# per-thread spans and trace.json must load as a well-formed Chrome
+# trace. Finally the span-overhead budget (<=5%) is enforced and one
+# "obs-smoke" entry is appended to the BENCH_history.jsonl ledger; the
+# report render proves the ledger stays machine-readable end to end.
+echo "== obs smoke (journal + /metrics + trace schemas, 5% overhead budget) =="
+cargo run --release -q -p transit-bench --bin obs_smoke -- \
+  --dir target/obs-smoke --history BENCH_history.jsonl
+
+echo "== bench history report (BENCH_history.jsonl -> target/obs-smoke/REPORT.md) =="
+cargo run --release -q -p transit-bench --bin obs_report -- \
+  BENCH_history.jsonl --out target/obs-smoke/REPORT.md
+
 echo "OK"
