@@ -1,9 +1,10 @@
 //! Kernel-level benchmarks of the evaluation hot path: the DP table
 //! build, full capture curves (one-pass vs per-point) at n ∈ {100, 1000}
 //! flows, the sweep engine at jobs ∈ {1, N}, ε = 0 flow coalescing on a
-//! replicated 100k-flow market, and the tiled DP build at dp_threads
-//! ∈ {1, N}. These isolate *where* the time goes, complementing the
-//! end-to-end figure benches.
+//! replicated 100k-flow market, the tiled DP build at dp_threads
+//! ∈ {1, N}, and the NetFlow ingest fast path (decode-only, fold-only,
+//! and end-to-end at 100k records). These isolate *where* the time
+//! goes, complementing the end-to-end figure benches.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
@@ -188,6 +189,96 @@ fn tiled_dp(c: &mut Criterion) {
     g.finish();
 }
 
+/// The NetFlow ingest fast path at ~100k records, split into its
+/// stages: zero-copy decode alone (parse + tuple extraction, no table),
+/// fold alone (pre-extracted tuples into a flat `FlowTable`), and the
+/// end-to-end `ingest_batch` at workers ∈ {1, N}.
+fn ingest_kernels(c: &mut Criterion) {
+    use transit_netflow::{
+        flow_hash, Collector, Exporter, FlowKey, FlowTable, SystematicSampler, V5PacketView,
+    };
+
+    // ~100k records: 50k distinct flows exported by 2 routers.
+    const N_FLOWS: u32 = 50_000;
+    let mut wire = Vec::new();
+    for router in 0..2u8 {
+        let mut e = Exporter::new(router, SystematicSampler::new(1));
+        for i in 0..N_FLOWS {
+            let key = FlowKey {
+                src_addr: std::net::Ipv4Addr::from(0x0A00_0000 | i),
+                dst_addr: std::net::Ipv4Addr::from(0xC0A8_0000 | i.wrapping_mul(2654435761)),
+                src_port: 1024 + (i % 40_000) as u16,
+                dst_port: 443,
+                protocol: 6,
+            };
+            e.observe_packets(key, 3, 1_500);
+        }
+        for pkt in e.flush(0) {
+            wire.push(pkt.encode());
+        }
+    }
+    let n_records: usize = wire
+        .iter()
+        .map(|d| V5PacketView::parse(d).unwrap().record_count())
+        .sum();
+
+    let group_name = format!("ingest_{n_records}_records");
+    let mut g = c.benchmark_group(&group_name);
+    g.sample_size(10);
+    g.bench_function("decode_only", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for dgram in &wire {
+                let view = V5PacketView::parse(dgram).unwrap();
+                for (key, octets, packets) in view.flow_tuples() {
+                    acc = acc
+                        .wrapping_add(flow_hash(&key))
+                        .wrapping_add(octets as u64)
+                        .wrapping_add(packets as u64);
+                }
+            }
+            black_box(acc)
+        })
+    });
+
+    // Pre-extract tuples once so fold_only measures the table alone.
+    let tuples: Vec<(u64, FlowKey, u8, u64, u64)> = wire
+        .iter()
+        .flat_map(|dgram| {
+            let view = V5PacketView::parse(dgram).unwrap();
+            let router = view.header().engine_id;
+            view.flow_tuples()
+                .map(|(key, octets, packets)| {
+                    (flow_hash(&key), key, router, octets as u64, packets as u64)
+                })
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    g.bench_function("fold_only", |b| {
+        b.iter(|| {
+            let mut table = FlowTable::new();
+            for &(hash, key, router, bytes, packets) in &tuples {
+                table.credit(hash, key, router, bytes, packets);
+            }
+            black_box(table.len())
+        })
+    });
+
+    let workers_n = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    for workers in if workers_n > 1 { vec![1, workers_n] } else { vec![1] } {
+        g.bench_function(&format!("ingest_batch_workers{workers}"), |b| {
+            b.iter(|| {
+                let mut collector = Collector::with_shards_and_workers(workers.min(8), workers);
+                collector.ingest_batch(&wire);
+                black_box(collector.flow_count())
+            })
+        });
+    }
+    g.finish();
+}
+
 /// The engine's per-item overhead in isolation: tiny closure, many items.
 fn engine_overhead(c: &mut Criterion) {
     let items: Vec<u64> = (0..10_000).collect();
@@ -207,6 +298,7 @@ criterion_group!(
     sweep_jobs,
     coalesce_kernels,
     tiled_dp,
+    ingest_kernels,
     engine_overhead
 );
 criterion_main!(kernels);

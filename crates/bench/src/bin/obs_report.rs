@@ -209,6 +209,7 @@ mod tests {
             items_per_sec_jobs_n: ips_n,
             obs_overhead_pct: 1.0,
             million_flow_sec: BTreeMap::from([("total".to_string(), 10.0)]),
+            ingest_throughput: BTreeMap::new(),
         }
     }
 

@@ -305,6 +305,7 @@ fn main() {
         items_per_sec_jobs_n: quiet_n,
         obs_overhead_pct: overhead_pct,
         million_flow_sec: std::collections::BTreeMap::new(),
+        ingest_throughput: std::collections::BTreeMap::new(),
     };
     transit_bench::history::append(Path::new(&history_path), &entry)
         .expect("history ledger appends");

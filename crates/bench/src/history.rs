@@ -47,6 +47,10 @@ pub struct HistoryEntry {
     /// Million-flow phase timings in seconds (`generate`, `ingest`,
     /// `fit`, `coalesce`, `curves`, `total`), when the run measured them.
     pub million_flow_sec: BTreeMap<String, f64>,
+    /// Million-flow ingest throughput (`datagrams_per_sec`,
+    /// `records_per_sec`), when the run measured it. Absent in ledger
+    /// lines written before the ingest fast path; parsed as empty.
+    pub ingest_throughput: BTreeMap<String, f64>,
 }
 
 impl HistoryEntry {
@@ -100,6 +104,15 @@ impl HistoryEntry {
                         .collect(),
                 ),
             ),
+            (
+                "ingest_throughput".into(),
+                serde::Content::Map(
+                    self.ingest_throughput
+                        .iter()
+                        .map(|(k, &v)| (k.clone(), serde::Content::F64(v)))
+                        .collect(),
+                ),
+            ),
         ])
     }
 
@@ -133,13 +146,17 @@ impl HistoryEntry {
                 .and_then(|x| x.as_f64())
                 .ok_or_else(|| format!("missing numeric field {field:?}"))
         };
-        let million_flow_sec = match v.get("million_flow_sec").and_then(|m| m.as_object()) {
-            Some(map) => map
-                .iter()
-                .filter_map(|(k, x)| x.as_f64().map(|f| (k.clone(), f)))
-                .collect(),
-            None => BTreeMap::new(),
+        let num_map = |field: &str| -> BTreeMap<String, f64> {
+            match v.get(field).and_then(|m| m.as_object()) {
+                Some(map) => map
+                    .iter()
+                    .filter_map(|(k, x)| x.as_f64().map(|f| (k.clone(), f)))
+                    .collect(),
+                None => BTreeMap::new(),
+            }
         };
+        let million_flow_sec = num_map("million_flow_sec");
+        let ingest_throughput = num_map("ingest_throughput");
         Ok(HistoryEntry {
             recorded_unix: num("recorded_unix")? as u64,
             source: v
@@ -160,6 +177,7 @@ impl HistoryEntry {
             items_per_sec_jobs_n: num("items_per_sec_jobsN")?,
             obs_overhead_pct: num("obs_overhead_pct")?,
             million_flow_sec,
+            ingest_throughput,
         })
     }
 }
@@ -213,6 +231,9 @@ mod tests {
             items_per_sec_jobs_n: ips * 4.0,
             obs_overhead_pct: 1.5,
             million_flow_sec: [("total".to_string(), 12.5)].into_iter().collect(),
+            ingest_throughput: [("records_per_sec".to_string(), 250_000.0)]
+                .into_iter()
+                .collect(),
         }
     }
 
@@ -244,6 +265,20 @@ mod tests {
         let missing = "{\"schema\":\"transit-bench/history/v1\",\"source\":\"gate\"}";
         let err = HistoryEntry::parse(missing).unwrap_err();
         assert!(err.contains("recorded_unix"), "{err}");
+    }
+
+    #[test]
+    fn pre_ingest_throughput_lines_still_parse() {
+        // Ledger lines written before the ingest fast path lack the
+        // ingest_throughput map; they must parse with it empty.
+        let mut entry = sample("gate", 30.0);
+        entry.ingest_throughput.clear();
+        let line = entry.to_json_line();
+        let stripped = line.replace(",\"ingest_throughput\":{}", "");
+        assert_ne!(line, stripped, "field was present to strip");
+        let parsed = HistoryEntry::parse(&stripped).expect("old line parses");
+        assert!(parsed.ingest_throughput.is_empty());
+        assert_eq!(parsed.million_flow_sec, entry.million_flow_sec);
     }
 
     #[test]

@@ -9,10 +9,10 @@
 //! the `netflow_pipeline` example verify the reconstruction converges to
 //! the ground truth.
 
-use std::collections::HashMap;
-
 use transit_core::flow::TrafficFlow;
-use transit_netflow::{Collector, Exporter, FlowKey, SystematicSampler, TrafficMatrix};
+use transit_netflow::{
+    Collector, Exporter, FlowKey, SystematicSampler, TrafficMatrix,
+};
 
 use crate::generator::Dataset;
 
@@ -32,6 +32,9 @@ pub struct PipelineConfig {
     /// collector state is identical for any shard count; see
     /// [`transit_netflow::Collector::ingest_batch`].
     pub ingest_shards: usize,
+    /// Collector batch-ingest worker threads (1 = serial, 0 = all
+    /// cores). Like shards, workers never change collected state.
+    pub ingest_workers: usize,
 }
 
 impl Default for PipelineConfig {
@@ -42,6 +45,7 @@ impl Default for PipelineConfig {
             window_secs: 60.0,
             packet_bytes: 1_500,
             ingest_shards: 1,
+            ingest_workers: 1,
         }
     }
 }
@@ -57,6 +61,8 @@ pub struct PipelineOutput {
     pub matrix: TrafficMatrix,
     /// Export datagrams processed.
     pub datagrams: u64,
+    /// Flow records processed.
+    pub records: u64,
     /// Ground-truth total bytes offered to the routers.
     pub offered_bytes: u64,
 }
@@ -73,11 +79,14 @@ pub fn run_pipeline(dataset: &Dataset, config: PipelineConfig) -> PipelineOutput
     let _span = transit_obs::span!("datasets.pipeline.run", flows = dataset.flows.len());
     transit_obs::counter!("datasets.pipeline.runs").inc();
     transit_obs::counter!("datasets.pipeline.flows_offered").add(dataset.flows.len() as u64);
-    let mut exporters: Vec<Exporter<SystematicSampler>> = (0..config.routers_on_path)
-        .map(|r| Exporter::new(r, SystematicSampler::new(config.sampling_rate)))
-        .collect();
-
-    // Offer packets: every router on the path sees every packet.
+    // Offer packets: every router on the path sees every packet. Each
+    // router's sampler starts in the same state and sampling is a
+    // deterministic function of the observation sequence, so simulating
+    // one router and replicating its exporter state per router id is
+    // byte-identical to re-simulating the stream per router (the
+    // exporter's `replicate_as` test pins this).
+    let mut first = Exporter::new(0, SystematicSampler::new(config.sampling_rate));
+    first.reserve_flows(dataset.flows.len());
     let mut offered_bytes = 0u64;
     for (flow, &(src, dst)) in dataset.flows.iter().zip(&dataset.endpoints) {
         let bytes_total = flow.demand_mbps * 1e6 / 8.0 * config.window_secs;
@@ -90,21 +99,24 @@ pub fn run_pipeline(dataset: &Dataset, config: PipelineConfig) -> PipelineOutput
             protocol: 6,
         };
         offered_bytes += packets * config.packet_bytes as u64;
-        for e in &mut exporters {
-            e.observe_packets(key, packets, config.packet_bytes);
-        }
+        first.observe_packets(key, packets, config.packet_bytes);
     }
+    let mut exporters: Vec<Exporter<SystematicSampler>> = (1..config.routers_on_path)
+        .map(|r| first.replicate_as(r))
+        .collect();
+    exporters.insert(0, first);
 
     // Export and collect: flush every router's cache to wire datagrams,
     // then ingest the whole batch through the (optionally sharded)
     // collector — identical state to serial ingestion for any shard count.
-    let wire: Vec<_> = exporters
-        .iter_mut()
-        .flat_map(|e| e.flush(0).into_iter().map(|pkt| pkt.encode()))
-        .collect();
-    let mut collector = Collector::with_shards(config.ingest_shards);
+    // Direct-to-wire flush: byte-identical to per-packet encode (the
+    // exporter's differential test pins it), without materializing owned
+    // packets for millions of records.
+    let wire: Vec<_> = exporters.iter_mut().flat_map(|e| e.flush_wire(0)).collect();
+    let mut collector =
+        Collector::with_shards_and_workers(config.ingest_shards, config.ingest_workers);
     collector.ingest_batch(&wire);
-    let (datagrams, _, decode_errors) = collector.stats();
+    let (datagrams, records, decode_errors) = collector.stats();
     assert_eq!(decode_errors, 0, "self-generated datagrams decode");
     transit_obs::counter!("datasets.pipeline.measured_datagrams").add(datagrams);
 
@@ -112,16 +124,39 @@ pub fn run_pipeline(dataset: &Dataset, config: PipelineConfig) -> PipelineOutput
     // by endpoint pair (the pipeline measures demand; distance comes from
     // topology/GeoIP exactly as in §4.1.1).
     let matrix = TrafficMatrix::from_flows(&collector.measured_flows());
-    let mut distance_of: HashMap<(std::net::Ipv4Addr, std::net::Ipv4Addr), &TrafficFlow> =
-        HashMap::new();
-    for (flow, &ep) in dataset.flows.iter().zip(&dataset.endpoints) {
-        distance_of.insert(ep, flow);
-    }
+    // Sorted merge-join: demands come out ordered by (src, dst), so one
+    // sort of the ground-truth endpoints replaces a per-entry hash join.
+    // A duplicated endpoint pair resolves to its *last* dataset
+    // occurrence (the merge takes the tail of each equal-key run),
+    // exactly like repeated hash-map inserts did.
+    let pack = |src: std::net::Ipv4Addr, dst: std::net::Ipv4Addr| {
+        (u64::from(u32::from(src)) << 32) | u64::from(u32::from(dst))
+    };
+    let mut by_pair: Vec<(u64, u32)> = dataset
+        .endpoints
+        .iter()
+        .enumerate()
+        .map(|(i, &(src, dst))| (pack(src, dst), i as u32))
+        .collect();
+    // The index tie-breaker makes every element distinct, so an unstable
+    // sort is deterministic and preserves dataset order within a pair run.
+    by_pair.sort_unstable();
 
     let mut measured_flows = Vec::new();
-    for (i, entry) in matrix.demands(config.window_secs).into_iter().enumerate() {
-        if let Some(original) = distance_of.get(&(entry.src, entry.dst)) {
+    let mut j = 0;
+    for (i, entry) in matrix.iter_demands(config.window_secs).enumerate() {
+        let key = pack(entry.src, entry.dst);
+        while j < by_pair.len() && by_pair[j].0 < key {
+            j += 1;
+        }
+        let mut flow_idx = None;
+        while j < by_pair.len() && by_pair[j].0 == key {
+            flow_idx = Some(by_pair[j].1);
+            j += 1;
+        }
+        if let Some(idx) = flow_idx {
             if entry.mbps > 0.0 {
+                let original: &TrafficFlow = &dataset.flows[idx as usize];
                 measured_flows.push(
                     TrafficFlow::new(i as u32, entry.mbps, original.distance_miles)
                         .with_region(original.region),
@@ -135,6 +170,7 @@ pub fn run_pipeline(dataset: &Dataset, config: PipelineConfig) -> PipelineOutput
         measured_flows,
         matrix,
         datagrams,
+        records,
         offered_bytes,
     }
 }
@@ -161,6 +197,7 @@ mod tests {
                 window_secs: 1.0,
                 packet_bytes: 1_500,
                 ingest_shards: 1,
+                ingest_workers: 1,
             },
         );
         // Every flow big enough to emit at least one packet in the window
@@ -197,6 +234,7 @@ mod tests {
                 window_secs: 1.0,
                 packet_bytes: 1_500,
                 ingest_shards: 1,
+                ingest_workers: 1,
             },
         );
         let three = run_pipeline(
@@ -207,6 +245,7 @@ mod tests {
                 window_secs: 1.0,
                 packet_bytes: 1_500,
                 ingest_shards: 1,
+                ingest_workers: 1,
             },
         );
         let total = |o: &PipelineOutput| -> f64 {
@@ -231,6 +270,7 @@ mod tests {
                     window_secs: 1.0,
                     packet_bytes: 1_500,
                     ingest_shards: 1,
+                    ingest_workers: 1,
                 },
             );
             let measured: f64 = out.measured_flows.iter().map(|f| f.demand_mbps).sum();
@@ -257,6 +297,28 @@ mod tests {
             assert_eq!(serial.measured_flows, sharded.measured_flows, "{shards} shards");
             assert_eq!(serial.datagrams, sharded.datagrams);
             assert_eq!(serial.offered_bytes, sharded.offered_bytes);
+        }
+    }
+
+    #[test]
+    fn parallel_ingest_matches_serial_pipeline() {
+        let ds = small_dataset();
+        let serial = run_pipeline(&ds, PipelineConfig::default());
+        for (shards, workers) in [(1, 2), (4, 2), (8, 8), (4, 0)] {
+            let parallel = run_pipeline(
+                &ds,
+                PipelineConfig {
+                    ingest_shards: shards,
+                    ingest_workers: workers,
+                    ..PipelineConfig::default()
+                },
+            );
+            assert_eq!(
+                serial.measured_flows, parallel.measured_flows,
+                "{shards} shards, {workers} workers"
+            );
+            assert_eq!(serial.datagrams, parallel.datagrams);
+            assert_eq!(serial.records, parallel.records);
         }
     }
 

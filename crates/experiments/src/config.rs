@@ -30,6 +30,12 @@ pub struct ExperimentConfig {
     /// is byte-identical for every value (see
     /// `transit_core::bundling::OptimalDp`).
     pub dp_threads: usize,
+    /// NetFlow collector batch-ingest worker threads
+    /// (`--ingest-workers`, `0` = one per available core, `1` = serial).
+    /// Collector state is identical for every value (see
+    /// `transit_netflow::Collector::ingest_batch`); only the
+    /// NetFlow-driven runners (fig17) consume it.
+    pub ingest_workers: usize,
     /// Observability collection level (`--log-level`). Figure output is
     /// identical at every level; this only gates span collection.
     pub log_level: transit_obs::Level,
@@ -58,6 +64,7 @@ impl Default for ExperimentConfig {
             max_bundles: 6,
             jobs: 0,
             dp_threads: 1,
+            ingest_workers: 1,
             log_level: transit_obs::Level::Info,
             profile: None,
             serve_metrics: None,

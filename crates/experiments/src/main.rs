@@ -6,7 +6,7 @@ use transit_experiments::{run, ExperimentConfig, ALL_IDS, EXTENSION_IDS, SENSITI
 
 fn usage() -> String {
     format!(
-        "usage: transit-experiments <experiment|all|full|ext> [--json] [--chart] [--quick] [--flows N] [--seed S] [--jobs N] [--dp-threads N] [--out DIR]\n\
+        "usage: transit-experiments <experiment|all|full|ext> [--json] [--chart] [--quick] [--flows N] [--seed S] [--jobs N] [--dp-threads N] [--ingest-workers N] [--out DIR]\n\
          \x20                          [--only ID] [--profile DIR] [--serve-metrics ADDR] [--log-level quiet|info|debug]\n\
          experiments: {} {} {}",
         ALL_IDS.join(" "),
@@ -57,6 +57,13 @@ fn main() -> ExitCode {
                 Some(n) => config.dp_threads = n,
                 None => {
                     eprintln!("--dp-threads needs a number (0 = all cores)\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--ingest-workers" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => config.ingest_workers = n,
+                None => {
+                    eprintln!("--ingest-workers needs a number (0 = all cores)\n{}", usage());
                     return ExitCode::FAILURE;
                 }
             },

@@ -85,10 +85,14 @@ pub fn fig17(config: &ExperimentConfig) -> Result<ExperimentResult> {
         let packets = bytes_total / 1_500;
         exporter.observe_packets(key, packets, 1_500);
     }
-    let mut collector = Collector::new();
-    for pkt in exporter.flush(0) {
-        collector.ingest(&pkt.encode()).expect("own datagrams decode");
-    }
+    // Batch ingest through the fast path (state is identical to serial
+    // per-datagram ingestion for any worker count, so the figure output
+    // is byte-stable under --ingest-workers).
+    let wire: Vec<_> = exporter.flush(0).iter().map(|pkt| pkt.encode()).collect();
+    let mut collector = Collector::with_shards_and_workers(1, config.ingest_workers);
+    collector.ingest_batch(&wire);
+    let (_, _, decode_errors) = collector.stats();
+    assert_eq!(decode_errors, 0, "own datagrams decode");
     let mut flow_acct = FlowAccounting::new();
     let matched = flow_acct.assign(&collector.measured_flows(), &rib);
 

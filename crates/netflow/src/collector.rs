@@ -10,22 +10,44 @@
 //! noise), so the max is an unbiased single-observation estimate while a
 //! sum would multiply true volume by the hop count.
 //!
-//! ## Sharded ingest
+//! ## Ingest fast path
 //!
-//! At million-flow scale the flow map dominates ingest time, so the
-//! collector hash-partitions flows across `S` shards
-//! ([`Collector::with_shards`]). [`Collector::ingest_batch`] decodes
-//! datagrams **serially in arrival order** (sequence-gap loss accounting
-//! is order-sensitive), then aggregates the partitioned records into the
-//! shard maps in parallel with scoped threads. Shard assignment depends
-//! only on the flow key, and [`Collector::measured_flows`] sorts its
-//! output, so results are identical for any shard count and any thread
-//! interleaving.
+//! At million-flow scale ingest dominates the measurement pipeline, so
+//! the hot path is built from four layers (see DESIGN.md "Ingest fast
+//! path" for the full argument):
+//!
+//! 1. **Zero-copy decode** — datagrams are parsed through
+//!    [`V5PacketView`], which borrows the wire bytes and reads only the
+//!    fields the collector uses; no per-packet `Vec` is allocated.
+//! 2. **Flat flow tables** — each shard is an open-addressed
+//!    [`FlowTable`] keyed by [`flow_hash`] (FNV-1a + splitmix64,
+//!    computed once per record and reused for shard selection and table
+//!    probing), with per-router tallies inline in the entry.
+//! 3. **Parallel decode, serial accounting** — with
+//!    [`Collector::with_shards_and_workers`], [`Collector::ingest_batch`]
+//!    splits the datagram slice into contiguous chunks decoded by scoped
+//!    worker threads. Workers only extract record tuples and per-datagram
+//!    header summaries; the sequence-gap loss accounting (which is
+//!    order-sensitive) then replays the summaries **serially in arrival
+//!    order**, so counters and journal samples are identical to serial
+//!    ingestion.
+//! 4. **Pipelined fold** — decode workers stream tuple batches through
+//!    bounded channels to fold workers that each own a disjoint subset
+//!    of shards, so folding overlaps decoding instead of barriering on
+//!    a fully materialized bucket list. One worker (the default) falls
+//!    back to the serial loop.
+//!
+//! State is identical for every (shards, workers) combination: a flow's
+//! records always land in the one shard its key hashes to, per-shard
+//! credit order only permutes commutative `u64 +=` updates, the
+//! measured estimate breaks byte ties by packet count (order-free), and
+//! read-out sorts by key. The testkit ingest oracle pins this against
+//! the serial reference under fault injection.
 
-use std::collections::HashMap;
-
+use crate::fasthash::FastHashMap;
 use crate::key::{FlowKey, MeasuredFlow};
-use crate::record::{DecodeError, V5Packet};
+use crate::record::{DecodeError, V5Packet, V5PacketView};
+use crate::table::{flow_hash, FlowTable};
 
 /// Registry counter: export datagrams ingested.
 pub const DATAGRAMS_COUNTER: &str = "netflow.collector.datagrams";
@@ -58,53 +80,41 @@ fn describe_collector_metrics() {
     });
 }
 
-/// Per-router observation of one flow.
-#[derive(Debug, Clone, Copy, Default)]
-struct Observation {
-    bytes: u64,
-    packets: u64,
-}
+/// One decoded record, hash-partitioned and de-sampled, on its way to a
+/// fold worker: `(flow hash, key, router, bytes, packets)`.
+type RecordTuple = (u64, FlowKey, u8, u64, u64);
 
-/// One shard's flow map: flow key → router (engine id) → totals.
-type FlowShard = HashMap<FlowKey, HashMap<u8, Observation>>;
+/// Tuples per channel message from a decode worker to a fold worker.
+/// Bounds per-message memory and amortizes channel synchronization.
+const FOLD_BATCH_TUPLES: usize = 1024;
 
-/// Deterministic shard of a flow key: FNV-1a over the 13 key bytes with
-/// a splitmix64 finalizer, reduced mod `n_shards`. Depends only on the
-/// key, so re-sharding a stream re-partitions but never splits a flow.
-fn shard_index(key: &FlowKey, n_shards: usize) -> usize {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    let mut eat = |b: u8| {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x1000_0000_01b3);
-    };
-    for b in key.src_addr.octets() {
-        eat(b);
-    }
-    for b in key.dst_addr.octets() {
-        eat(b);
-    }
-    eat((key.src_port >> 8) as u8);
-    eat(key.src_port as u8);
-    eat((key.dst_port >> 8) as u8);
-    eat(key.dst_port as u8);
-    eat(key.protocol);
-    h = (h ^ (h >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-    h = (h ^ (h >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-    h ^= h >> 31;
-    (h % n_shards as u64) as usize
+/// Per-datagram header summary a decode worker leaves behind for the
+/// serial accounting pass.
+#[derive(Debug, Clone, Copy)]
+enum DatagramSummary {
+    /// Datagram failed to decode (counted, journaled, skipped).
+    DecodeError,
+    /// Decoded fine; everything sequence accounting needs.
+    Ok {
+        router: u8,
+        sequence: u32,
+        n_records: u32,
+    },
 }
 
 /// A NetFlow collector with cross-router deduplication.
 #[derive(Debug)]
 pub struct Collector {
-    /// Hash-partitioned flow maps (always at least one shard).
-    shards: Vec<FlowShard>,
+    /// Hash-partitioned flat flow tables (always at least one shard).
+    shards: Vec<FlowTable>,
+    /// Worker threads for [`Collector::ingest_batch`] (1 = serial).
+    workers: usize,
     /// router → next expected flow_sequence (export loss detection:
     /// v5 headers carry a running record count, so a gap means a dropped
     /// export datagram between this one and the previous).
-    next_sequence: HashMap<u8, u32>,
+    next_sequence: FastHashMap<u8, u32>,
     /// router → records known lost from sequence gaps.
-    lost: HashMap<u8, u64>,
+    lost: FastHashMap<u8, u64>,
     datagrams: u64,
     records: u64,
     decode_errors: u64,
@@ -116,22 +126,42 @@ impl Default for Collector {
     }
 }
 
+/// Resolves a worker-count knob: 0 means "all cores".
+fn resolve_workers(workers: usize) -> usize {
+    if workers == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        workers
+    }
+}
+
 impl Collector {
-    /// Creates an empty single-shard collector.
+    /// Creates an empty single-shard, serial-ingest collector.
     pub fn new() -> Collector {
         Collector::default()
     }
 
     /// Creates an empty collector with `n_shards` hash-partitioned flow
-    /// maps (clamped to at least 1). Measured output is independent of
-    /// the shard count; shards only bound the parallelism of
-    /// [`Collector::ingest_batch`].
+    /// tables (clamped to at least 1) and serial batch ingest. Measured
+    /// output is independent of the shard count; shards only bound the
+    /// parallelism of [`Collector::ingest_batch`].
     pub fn with_shards(n_shards: usize) -> Collector {
+        Collector::with_shards_and_workers(n_shards, 1)
+    }
+
+    /// Creates an empty collector with `n_shards` flow tables and
+    /// `workers` batch-ingest threads (0 = all cores). State is
+    /// identical for every (shards, workers) combination; the knobs
+    /// only trade memory and threads for throughput.
+    pub fn with_shards_and_workers(n_shards: usize, workers: usize) -> Collector {
         describe_collector_metrics();
         Collector {
-            shards: (0..n_shards.max(1)).map(|_| FlowShard::new()).collect(),
-            next_sequence: HashMap::new(),
-            lost: HashMap::new(),
+            shards: (0..n_shards.max(1)).map(|_| FlowTable::new()).collect(),
+            workers: resolve_workers(workers).max(1),
+            next_sequence: FastHashMap::default(),
+            lost: FastHashMap::default(),
             datagrams: 0,
             records: 0,
             decode_errors: 0,
@@ -143,139 +173,221 @@ impl Collector {
         self.shards.len()
     }
 
+    /// Batch-ingest worker threads (1 = serial).
+    pub fn ingest_workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Reconfigures the batch-ingest worker count (0 = all cores).
+    /// Safe at any time: parallelism never changes collected state.
+    pub fn set_ingest_workers(&mut self, workers: usize) {
+        self.workers = resolve_workers(workers).max(1);
+    }
+
     /// Distinct flows currently held by each shard, in shard order —
     /// the occupancy balance of the hash partition.
     pub fn shard_occupancy(&self) -> Vec<usize> {
         self.shards.iter().map(|s| s.len()).collect()
     }
 
-    /// Ingests one raw export datagram. Malformed datagrams are counted
-    /// and reported but do not poison previously collected state.
-    pub fn ingest(&mut self, datagram: &[u8]) -> Result<usize, DecodeError> {
-        let packet = match V5Packet::decode(datagram) {
-            Ok(p) => p,
-            Err(e) => {
-                self.decode_errors += 1;
-                transit_obs::counter!(DECODE_ERRORS_COUNTER).inc();
-                // Drops are rare and diagnostic: worth a journal sample
-                // each so the timeline shows exactly when ingest went bad.
-                transit_obs::journal::counter_sample(
-                    DECODE_ERRORS_COUNTER,
-                    transit_obs::counter!(DECODE_ERRORS_COUNTER).get(),
-                );
-                return Err(e);
-            }
-        };
-        Ok(self.ingest_packet(&packet))
+    /// Counts and journals one malformed datagram.
+    fn note_decode_error(&mut self) {
+        self.decode_errors += 1;
+        let counter = transit_obs::counter!(DECODE_ERRORS_COUNTER);
+        counter.inc();
+        // Drops are rare and diagnostic: worth a journal sample each so
+        // the timeline shows exactly when ingest went bad — on the
+        // single-datagram and batch paths alike.
+        transit_obs::journal::counter_sample(DECODE_ERRORS_COUNTER, counter.get());
     }
 
-    /// Header bookkeeping for one packet: loss detection from the running
-    /// flow sequence plus datagram/record tallies (local and registry).
-    fn account_packet(&mut self, packet: &V5Packet) {
-        let router = packet.header.engine_id;
-        let seq = packet.header.flow_sequence;
-        match self.next_sequence.get(&router) {
-            Some(&expected) => {
-                let gap = seq.wrapping_sub(expected);
-                // Treat huge "gaps" as reordering/restart rather than
-                // loss (a restarted exporter resets its sequence).
-                if gap > 0 && gap < u32::MAX / 2 {
-                    *self.lost.entry(router).or_default() += gap as u64;
-                    transit_obs::counter!(LOST_RECORDS_COUNTER).add(gap as u64);
-                    transit_obs::journal::counter_sample(
-                        LOST_RECORDS_COUNTER,
-                        transit_obs::counter!(LOST_RECORDS_COUNTER).get(),
-                    );
-                }
-            }
-            None => {
-                // First datagram from this router establishes the base.
+    /// Header bookkeeping for one datagram: loss detection from the
+    /// running flow sequence plus datagram/record tallies (local and
+    /// registry). Must run in arrival order — sequence gaps are
+    /// order-sensitive.
+    fn account_datagram(&mut self, router: u8, sequence: u32, n_records: usize) {
+        if let Some(&expected) = self.next_sequence.get(&router) {
+            let gap = sequence.wrapping_sub(expected);
+            // Treat huge "gaps" as reordering/restart rather than loss
+            // (a restarted exporter resets its sequence).
+            if gap > 0 && gap < u32::MAX / 2 {
+                *self.lost.entry(router).or_default() += gap as u64;
+                let counter = transit_obs::counter!(LOST_RECORDS_COUNTER);
+                counter.add(gap as u64);
+                transit_obs::journal::counter_sample(LOST_RECORDS_COUNTER, counter.get());
             }
         }
         self.next_sequence
-            .insert(router, seq.wrapping_add(packet.records.len() as u32));
+            .insert(router, sequence.wrapping_add(n_records as u32));
         self.datagrams += 1;
-        self.records += packet.records.len() as u64;
+        self.records += n_records as u64;
         // Registry mirrors of the per-collector tallies: process-wide
         // ingest volume for the run manifest.
         transit_obs::counter!(DATAGRAMS_COUNTER).inc();
-        transit_obs::counter!(RECORDS_COUNTER).add(packet.records.len() as u64);
+        transit_obs::counter!(RECORDS_COUNTER).add(n_records as u64);
+    }
+
+    /// Ingests one raw export datagram. Malformed datagrams are counted
+    /// and reported but do not poison previously collected state.
+    pub fn ingest(&mut self, datagram: &[u8]) -> Result<usize, DecodeError> {
+        match V5PacketView::parse(datagram) {
+            Ok(view) => Ok(self.ingest_view(&view)),
+            Err(e) => {
+                self.note_decode_error();
+                Err(e)
+            }
+        }
+    }
+
+    /// Accounts and credits one parsed datagram view.
+    fn ingest_view(&mut self, view: &V5PacketView<'_>) -> usize {
+        let header = view.header();
+        let rate = header.sampling_rate() as u64;
+        let router = header.engine_id;
+        self.account_datagram(router, header.flow_sequence, view.record_count());
+        let n_shards = self.shards.len() as u64;
+        for (key, octets, packets) in view.flow_tuples() {
+            let hash = flow_hash(&key);
+            self.shards[(hash % n_shards) as usize].credit(
+                hash,
+                key,
+                router,
+                octets as u64 * rate,
+                packets as u64 * rate,
+            );
+        }
+        view.record_count()
     }
 
     /// Ingests an already-decoded packet; returns the record count.
     pub fn ingest_packet(&mut self, packet: &V5Packet) -> usize {
         let rate = packet.header.sampling_rate() as u64;
         let router = packet.header.engine_id;
-        self.account_packet(packet);
-
-        let n_shards = self.shards.len();
+        self.account_datagram(router, packet.header.flow_sequence, packet.records.len());
+        let n_shards = self.shards.len() as u64;
         for r in &packet.records {
             let key = FlowKey::from_record(r);
-            let shard = &mut self.shards[shard_index(&key, n_shards)];
-            let obs = shard.entry(key).or_default().entry(router).or_default();
-            obs.bytes += r.octets as u64 * rate;
-            obs.packets += r.packets as u64 * rate;
+            let hash = flow_hash(&key);
+            self.shards[(hash % n_shards) as usize].credit(
+                hash,
+                key,
+                router,
+                r.octets as u64 * rate,
+                r.packets as u64 * rate,
+            );
         }
         packet.records.len()
     }
 
-    /// Ingests a batch of raw datagrams through the sharded parallel
-    /// path; returns the record count.
+    /// Ingests a batch of raw datagrams through the fast path; returns
+    /// the record count.
     ///
-    /// Decoding and sequence accounting run serially in slice order
-    /// (identical to calling [`Collector::ingest`] per datagram —
-    /// malformed datagrams are counted in
-    /// [`CollectorStats`]/[`Collector::stats`] rather than returned);
-    /// the decoded records are then hash-partitioned by flow key and
-    /// folded into the shard maps by one scoped worker per shard. Since
-    /// a flow's records all land in one shard and per-shard insertion
-    /// order only permutes commutative `u64 +=` updates, the resulting
-    /// state is identical to serial ingestion.
-    pub fn ingest_batch<D: AsRef<[u8]>>(&mut self, datagrams: &[D]) -> usize {
-        let n_shards = self.shards.len();
-        let mut buckets: Vec<Vec<(FlowKey, u8, u64, u64)>> =
-            (0..n_shards).map(|_| Vec::new()).collect();
+    /// With one worker (the default) this is the serial zero-copy loop —
+    /// identical to calling [`Collector::ingest`] per datagram, except
+    /// that malformed datagrams are counted in
+    /// [`CollectorStats`]/[`Collector::stats`] rather than returned.
+    /// With more workers, decoding runs in parallel and folding is
+    /// pipelined behind it (see the module docs); the resulting state,
+    /// stats, and journal samples are identical to the serial loop.
+    pub fn ingest_batch<D: AsRef<[u8]> + Sync>(&mut self, datagrams: &[D]) -> usize {
+        let workers = self.workers.min(datagrams.len()).max(1);
+        let ingested = if workers <= 1 {
+            self.ingest_batch_serial(datagrams)
+        } else {
+            self.ingest_batch_parallel(datagrams, workers)
+        };
+        transit_obs::counter!(SHARDED_RECORDS_COUNTER).add(ingested as u64);
+        ingested
+    }
+
+    fn ingest_batch_serial<D: AsRef<[u8]>>(&mut self, datagrams: &[D]) -> usize {
         let mut ingested = 0usize;
         for datagram in datagrams {
-            let packet = match V5Packet::decode(datagram.as_ref()) {
-                Ok(p) => p,
-                Err(_) => {
-                    self.decode_errors += 1;
-                    transit_obs::counter!(DECODE_ERRORS_COUNTER).inc();
-                    continue;
-                }
-            };
-            let rate = packet.header.sampling_rate() as u64;
-            let router = packet.header.engine_id;
-            self.account_packet(&packet);
-            ingested += packet.records.len();
-            for r in &packet.records {
-                let key = FlowKey::from_record(r);
-                buckets[shard_index(&key, n_shards)].push((
-                    key,
-                    router,
-                    r.octets as u64 * rate,
-                    r.packets as u64 * rate,
-                ));
+            match V5PacketView::parse(datagram.as_ref()) {
+                Ok(view) => ingested += self.ingest_view(&view),
+                Err(_) => self.note_decode_error(),
             }
         }
-        transit_obs::counter!(SHARDED_RECORDS_COUNTER).add(ingested as u64);
+        ingested
+    }
 
-        fn fold(shard: &mut FlowShard, bucket: Vec<(FlowKey, u8, u64, u64)>) {
-            for (key, router, bytes, packets) in bucket {
-                let obs = shard.entry(key).or_default().entry(router).or_default();
-                obs.bytes += bytes;
-                obs.packets += packets;
-            }
+    /// The parallel pipeline: `workers` decode threads stream record
+    /// tuples through bounded channels to `min(workers, shards)` fold
+    /// threads, each owning the shards congruent to its index. Decode
+    /// workers write per-datagram summaries into disjoint slices; the
+    /// serial pass afterwards replays them in arrival order so the
+    /// order-sensitive accounting (and its journal samples) is exactly
+    /// the serial path's.
+    fn ingest_batch_parallel<D: AsRef<[u8]> + Sync>(
+        &mut self,
+        datagrams: &[D],
+        workers: usize,
+    ) -> usize {
+        let n_shards = self.shards.len();
+        let n_fold = n_shards.min(workers);
+        let mut summaries = vec![DatagramSummary::DecodeError; datagrams.len()];
+
+        let mut txs = Vec::with_capacity(n_fold);
+        let mut rxs = Vec::with_capacity(n_fold);
+        for _ in 0..n_fold {
+            // Capacity bounds in-flight memory per fold worker to
+            // 2·workers messages of ≤ FOLD_BATCH_TUPLES tuples while
+            // letting every decode worker keep one batch queued.
+            let (tx, rx) = std::sync::mpsc::sync_channel::<Vec<RecordTuple>>(2 * workers);
+            txs.push(tx);
+            rxs.push(rx);
         }
-        if n_shards == 1 {
-            fold(&mut self.shards[0], buckets.pop().expect("one shard"));
-        } else {
-            std::thread::scope(|s| {
-                for (shard, bucket) in self.shards.iter_mut().zip(buckets) {
-                    s.spawn(move || fold(shard, bucket));
+
+        // Fold worker w owns shards {s | s % n_fold == w}, in order, so
+        // shard s lives at its local index s / n_fold.
+        let mut fold_tables: Vec<Vec<&mut FlowTable>> = (0..n_fold).map(|_| Vec::new()).collect();
+        for (idx, table) in self.shards.iter_mut().enumerate() {
+            fold_tables[idx % n_fold].push(table);
+        }
+
+        std::thread::scope(|scope| {
+            for (rx, mut tables) in rxs.into_iter().zip(fold_tables) {
+                scope.spawn(move || {
+                    while let Ok(batch) = rx.recv() {
+                        for (hash, key, router, bytes, packets) in batch {
+                            let shard = (hash % n_shards as u64) as usize;
+                            tables[shard / n_fold].credit(hash, key, router, bytes, packets);
+                        }
+                    }
+                });
+            }
+            let chunk = datagrams.len().div_ceil(workers);
+            let mut rest: &mut [DatagramSummary] = &mut summaries;
+            for w in 0..workers {
+                let lo = w * chunk;
+                if lo >= datagrams.len() {
+                    break;
                 }
-            });
+                let hi = (lo + chunk).min(datagrams.len());
+                let (head, tail) = rest.split_at_mut(hi - lo);
+                rest = tail;
+                let dgrams = &datagrams[lo..hi];
+                let txs = txs.clone();
+                scope.spawn(move || decode_chunk(dgrams, head, &txs, n_shards, n_fold));
+            }
+            // Fold workers exit once every sender (the spawned clones
+            // and this original set) has hung up.
+            drop(txs);
+        });
+
+        let mut ingested = 0usize;
+        for summary in &summaries {
+            match *summary {
+                DatagramSummary::DecodeError => self.note_decode_error(),
+                DatagramSummary::Ok {
+                    router,
+                    sequence,
+                    n_records,
+                } => {
+                    self.account_datagram(router, sequence, n_records as usize);
+                    ingested += n_records as usize;
+                }
+            }
         }
         ingested
     }
@@ -303,26 +415,16 @@ impl Collector {
     }
 
     /// Deduplicated measured flows: per flow, the maximum single-router
-    /// estimate (see module docs). Sorted by key for determinism.
+    /// estimate (see module docs; byte ties break by packet count, so
+    /// the result is independent of ingest order). Sorted by key for
+    /// determinism.
     pub fn measured_flows(&self) -> Vec<MeasuredFlow> {
-        let mut out: Vec<MeasuredFlow> = self
-            .shards
-            .iter()
-            .flat_map(|s| s.iter())
-            .map(|(key, per_router)| {
-                let best = per_router
-                    .values()
-                    .max_by_key(|o| o.bytes)
-                    .copied()
-                    .unwrap_or_default();
-                MeasuredFlow {
-                    key: *key,
-                    bytes: best.bytes,
-                    packets: best.packets,
-                }
-            })
-            .collect();
-        out.sort_by_key(|f| f.key);
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            shard.measured_into(&mut out);
+        }
+        // Keys are distinct across shards, so unstable sort is total.
+        out.sort_unstable_by_key(|f| f.key.sort_key());
         out
     }
 
@@ -330,23 +432,62 @@ impl Collector {
     /// dedup step; kept for the Fig. 17 accounting-equivalence experiment
     /// and tests.
     pub fn summed_flows(&self) -> Vec<MeasuredFlow> {
-        let mut out: Vec<MeasuredFlow> = self
-            .shards
-            .iter()
-            .flat_map(|s| s.iter())
-            .map(|(key, per_router)| {
-                let (bytes, packets) = per_router
-                    .values()
-                    .fold((0u64, 0u64), |(b, p), o| (b + o.bytes, p + o.packets));
-                MeasuredFlow {
-                    key: *key,
-                    bytes,
-                    packets,
-                }
-            })
-            .collect();
-        out.sort_by_key(|f| f.key);
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            shard.summed_into(&mut out);
+        }
+        out.sort_unstable_by_key(|f| f.key.sort_key());
         out
+    }
+}
+
+/// Decode-worker body: parse each datagram zero-copy, record its header
+/// summary, and stream de-sampled record tuples to the fold worker that
+/// owns the target shard. Never touches collector state or global
+/// counters — those belong to the serial accounting pass.
+fn decode_chunk<D: AsRef<[u8]>>(
+    datagrams: &[D],
+    summaries: &mut [DatagramSummary],
+    txs: &[std::sync::mpsc::SyncSender<Vec<RecordTuple>>],
+    n_shards: usize,
+    n_fold: usize,
+) {
+    let mut buffers: Vec<Vec<RecordTuple>> = (0..n_fold)
+        .map(|_| Vec::with_capacity(FOLD_BATCH_TUPLES))
+        .collect();
+    for (datagram, slot) in datagrams.iter().zip(summaries.iter_mut()) {
+        let view = match V5PacketView::parse(datagram.as_ref()) {
+            Ok(view) => view,
+            Err(_) => {
+                *slot = DatagramSummary::DecodeError;
+                continue;
+            }
+        };
+        let header = view.header();
+        *slot = DatagramSummary::Ok {
+            router: header.engine_id,
+            sequence: header.flow_sequence,
+            n_records: view.record_count() as u32,
+        };
+        let rate = header.sampling_rate() as u64;
+        let router = header.engine_id;
+        for (key, octets, packets) in view.flow_tuples() {
+            let hash = flow_hash(&key);
+            let fold = ((hash % n_shards as u64) as usize) % n_fold;
+            let buffer = &mut buffers[fold];
+            buffer.push((hash, key, router, octets as u64 * rate, packets as u64 * rate));
+            if buffer.len() >= FOLD_BATCH_TUPLES {
+                let full = std::mem::replace(buffer, Vec::with_capacity(FOLD_BATCH_TUPLES));
+                // A send only fails if the fold worker died, which a
+                // scoped-thread panic will surface anyway.
+                let _ = txs[fold].send(full);
+            }
+        }
+    }
+    for (fold, buffer) in buffers.into_iter().enumerate() {
+        if !buffer.is_empty() {
+            let _ = txs[fold].send(buffer);
+        }
     }
 }
 
@@ -598,6 +739,76 @@ mod tests {
             assert_eq!(sharded.stats(), serial.stats());
             assert_eq!(sharded.lost_records(), serial.lost_records());
         }
+    }
+
+    #[test]
+    fn parallel_batch_matches_serial_for_any_worker_count() {
+        let batch = wire_batch(300);
+        let mut serial = Collector::new();
+        for d in &batch {
+            serial.ingest(d).unwrap();
+        }
+        for shards in [1usize, 3, 8] {
+            for workers in [2usize, 3, 8] {
+                let mut parallel = Collector::with_shards_and_workers(shards, workers);
+                assert_eq!(parallel.ingest_workers(), workers);
+                let n = parallel.ingest_batch(&batch);
+                assert_eq!(n, 600, "records with {shards} shards, {workers} workers");
+                assert_eq!(parallel.measured_flows(), serial.measured_flows());
+                assert_eq!(parallel.summed_flows(), serial.summed_flows());
+                assert_eq!(parallel.stats(), serial.stats());
+                assert_eq!(parallel.lost_records(), serial.lost_records());
+                assert_eq!(
+                    parallel.shard_occupancy().iter().sum::<usize>(),
+                    serial.flow_count()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_batch_counts_decode_errors_and_gaps() {
+        // Corrupt datagrams and a sequence gap inside a parallel batch:
+        // the summary pass must count both exactly like serial ingest.
+        let mut e = Exporter::new(5, SystematicSampler::new(1));
+        for i in 0..90u32 {
+            e.observe_packet(key(i), 100);
+        }
+        let pkts = e.flush(0);
+        let mut batch = vec![pkts[0].encode().to_vec(), pkts[2].encode().to_vec()];
+        batch.insert(1, vec![0u8; 7]);
+        batch.push(b"garbage".to_vec());
+
+        let mut serial = Collector::new();
+        for d in &batch {
+            let _ = serial.ingest(d);
+        }
+        let mut parallel = Collector::with_shards_and_workers(4, 4);
+        parallel.ingest_batch(&batch);
+        assert_eq!(parallel.stats(), serial.stats());
+        assert_eq!(parallel.stats().2, 2, "two malformed datagrams");
+        assert_eq!(parallel.lost_records(), 30, "dropped middle datagram");
+        assert_eq!(parallel.measured_flows(), serial.measured_flows());
+    }
+
+    #[test]
+    fn empty_and_tiny_batches_are_safe_with_workers() {
+        let mut c = Collector::with_shards_and_workers(4, 8);
+        let empty: Vec<Vec<u8>> = Vec::new();
+        assert_eq!(c.ingest_batch(&empty), 0);
+        let one = wire_batch(1);
+        assert_eq!(c.ingest_batch(&one[..1]), 1);
+        assert_eq!(c.flow_count(), 1);
+    }
+
+    #[test]
+    fn worker_knob_is_reconfigurable_and_auto_resolves() {
+        let mut c = Collector::with_shards_and_workers(2, 0);
+        assert!(c.ingest_workers() >= 1, "0 resolves to all cores");
+        c.set_ingest_workers(3);
+        assert_eq!(c.ingest_workers(), 3);
+        c.set_ingest_workers(0);
+        assert!(c.ingest_workers() >= 1);
     }
 
     #[test]

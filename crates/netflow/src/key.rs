@@ -7,7 +7,7 @@ use serde::{Deserialize, Serialize};
 use crate::record::V5Record;
 
 /// The classic 5-tuple flow key.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct FlowKey {
     /// Source IPv4 address.
     pub src_addr: Ipv4Addr,
@@ -19,6 +19,23 @@ pub struct FlowKey {
     pub dst_port: u16,
     /// IP protocol number.
     pub protocol: u8,
+}
+
+/// Two word-sized writes instead of five per-field writes: flow keys
+/// are hashed on every exporter-cache credit, so this is hot. Equal keys
+/// feed identical words, so the `Eq`/`Hash` contract holds for any
+/// hasher.
+impl std::hash::Hash for FlowKey {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        state.write_u64(
+            (u64::from(u32::from(self.src_addr)) << 32) | u64::from(u32::from(self.dst_addr)),
+        );
+        state.write_u64(
+            (u64::from(self.src_port) << 24)
+                | (u64::from(self.dst_port) << 8)
+                | u64::from(self.protocol),
+        );
+    }
 }
 
 impl FlowKey {
@@ -38,6 +55,17 @@ impl FlowKey {
     pub fn host_pair(&self) -> (Ipv4Addr, Ipv4Addr) {
         (self.src_addr, self.dst_addr)
     }
+
+    /// All five fields packed into one integer whose numeric order equals
+    /// the derived [`Ord`]: a single u128 comparison per sort step instead
+    /// of five field comparisons. Used by the hot sorted read-outs.
+    pub(crate) fn sort_key(&self) -> u128 {
+        (u128::from(u32::from(self.src_addr)) << 72)
+            | (u128::from(u32::from(self.dst_addr)) << 40)
+            | (u128::from(self.src_port) << 24)
+            | (u128::from(self.dst_port) << 8)
+            | u128::from(self.protocol)
+    }
 }
 
 /// A measured flow after collection: key plus de-sampled volume.
@@ -54,6 +82,45 @@ pub struct MeasuredFlow {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn sort_key_order_equals_derived_ord() {
+        // Adjacent-field boundary cases: a higher earlier field must beat
+        // any later-field difference, matching the derived Ord.
+        let base = FlowKey {
+            src_addr: Ipv4Addr::new(1, 2, 3, 4),
+            dst_addr: Ipv4Addr::new(5, 6, 7, 8),
+            src_port: 100,
+            dst_port: 200,
+            protocol: 6,
+        };
+        let mut variants = vec![base];
+        for (src, dst, sp, dp, proto) in [
+            (Ipv4Addr::new(1, 2, 3, 5), Ipv4Addr::new(0, 0, 0, 0), 0, 0, 0),
+            (Ipv4Addr::new(1, 2, 3, 3), Ipv4Addr::new(255, 255, 255, 255), 65535, 65535, 255),
+            (base.src_addr, Ipv4Addr::new(5, 6, 7, 9), 0, 0, 0),
+            (base.src_addr, base.dst_addr, 101, 0, 0),
+            (base.src_addr, base.dst_addr, 100, 201, 0),
+            (base.src_addr, base.dst_addr, 100, 200, 17),
+        ] {
+            variants.push(FlowKey {
+                src_addr: src,
+                dst_addr: dst,
+                src_port: sp,
+                dst_port: dp,
+                protocol: proto,
+            });
+        }
+        for a in &variants {
+            for b in &variants {
+                assert_eq!(
+                    a.cmp(b),
+                    a.sort_key().cmp(&b.sort_key()),
+                    "{a:?} vs {b:?}"
+                );
+            }
+        }
+    }
 
     fn record() -> V5Record {
         V5Record {

@@ -17,16 +17,20 @@
 
 pub mod collector;
 pub mod exporter;
+pub mod fasthash;
 pub mod key;
 pub mod matrix;
 pub mod record;
 pub mod sampler;
+pub mod table;
 pub mod timed;
 
 pub use collector::{Collector, CollectorStats};
 pub use exporter::Exporter;
+pub use fasthash::{FastHashMap, FastHasher};
 pub use key::{FlowKey, MeasuredFlow};
 pub use matrix::{DemandEntry, TrafficMatrix};
-pub use record::{DecodeError, V5Header, V5Packet, V5Record};
+pub use record::{DecodeError, V5Header, V5Packet, V5PacketView, V5Record};
+pub use table::{flow_hash, FlowTable};
 pub use sampler::{HashSampler, Sampler, SystematicSampler};
 pub use timed::{TimedExporter, TimeoutConfig};

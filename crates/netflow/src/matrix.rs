@@ -5,7 +5,6 @@
 //! ports) and converted from byte counts over the capture window into
 //! demand rates in Mbps — the `q_i` the demand models consume.
 
-use std::collections::HashMap;
 use std::net::Ipv4Addr;
 
 use serde::Serialize;
@@ -13,9 +12,21 @@ use serde::Serialize;
 use crate::key::MeasuredFlow;
 
 /// A (source, destination) traffic matrix in bytes.
+///
+/// Stored as a vec sorted by packed `(src, dst)` key with one entry per
+/// pair — the matrix is an aggregate-and-read-out structure with no
+/// point-lookup API, and its main producer
+/// ([`TrafficMatrix::from_flows`]) receives key-sorted collector
+/// read-outs, so sorted-vec aggregation is a single linear pass where a
+/// hash map would pay a hashed insert per flow.
 #[derive(Debug, Clone, Default, Serialize)]
 pub struct TrafficMatrix {
-    entries: HashMap<(Ipv4Addr, Ipv4Addr), u64>,
+    entries: Vec<((Ipv4Addr, Ipv4Addr), u64)>,
+}
+
+/// Packed host-pair key whose numeric order equals `(src, dst)` order.
+fn pack(pair: (Ipv4Addr, Ipv4Addr)) -> u64 {
+    (u64::from(u32::from(pair.0)) << 32) | u64::from(u32::from(pair.1))
 }
 
 /// One aggregated demand entry.
@@ -35,16 +46,48 @@ impl TrafficMatrix {
     /// Builds the matrix from deduplicated measured flows, aggregating
     /// over ports and protocol.
     pub fn from_flows(flows: &[MeasuredFlow]) -> TrafficMatrix {
-        let mut entries: HashMap<(Ipv4Addr, Ipv4Addr), u64> = HashMap::new();
+        // Key-sorted input (the collector read-out) makes flows sharing a
+        // host pair adjacent, so aggregation is one run-merging pass.
+        // Unsorted input produces out-of-order runs that normalize()
+        // sorts and merges afterwards — same totals either way, since
+        // byte sums are commutative.
+        let mut entries: Vec<((Ipv4Addr, Ipv4Addr), u64)> = Vec::new();
         for f in flows {
-            *entries.entry(f.key.host_pair()).or_default() += f.bytes;
+            let pair = f.key.host_pair();
+            match entries.last_mut() {
+                Some((p, bytes)) if *p == pair => *bytes += f.bytes,
+                _ => entries.push((pair, f.bytes)),
+            }
         }
-        TrafficMatrix { entries }
+        let mut matrix = TrafficMatrix { entries };
+        matrix.normalize();
+        matrix
+    }
+
+    /// Restores the sorted-unique invariant; a no-op linear scan when the
+    /// entries are already in order.
+    fn normalize(&mut self) {
+        if self.entries.windows(2).all(|w| pack(w[0].0) < pack(w[1].0)) {
+            return;
+        }
+        self.entries.sort_unstable_by_key(|&(pair, _)| pack(pair));
+        self.entries.dedup_by(|later, earlier| {
+            if earlier.0 == later.0 {
+                earlier.1 += later.1;
+                true
+            } else {
+                false
+            }
+        });
     }
 
     /// Adds raw bytes to a pair (for synthetic construction).
     pub fn add(&mut self, src: Ipv4Addr, dst: Ipv4Addr, bytes: u64) {
-        *self.entries.entry((src, dst)).or_default() += bytes;
+        let key = pack((src, dst));
+        match self.entries.binary_search_by_key(&key, |&(pair, _)| pack(pair)) {
+            Ok(i) => self.entries[i].1 += bytes,
+            Err(i) => self.entries.insert(i, ((src, dst), bytes)),
+        }
     }
 
     /// Number of (src, dst) pairs.
@@ -59,28 +102,30 @@ impl TrafficMatrix {
 
     /// Total bytes across all pairs.
     pub fn total_bytes(&self) -> u64 {
-        self.entries.values().sum()
+        self.entries.iter().map(|&(_, bytes)| bytes).sum()
     }
 
     /// Demand entries over a capture window of `duration_secs`, sorted by
     /// (src, dst) for determinism. `duration_secs` must be positive.
     pub fn demands(&self, duration_secs: f64) -> Vec<DemandEntry> {
+        self.iter_demands(duration_secs).collect()
+    }
+
+    /// Streaming form of [`TrafficMatrix::demands`]: the same entries in
+    /// the same (src, dst) order without materializing a vec — for
+    /// million-pair consumers that fold the demands immediately.
+    pub fn iter_demands(&self, duration_secs: f64) -> impl Iterator<Item = DemandEntry> + '_ {
         assert!(
             duration_secs.is_finite() && duration_secs > 0.0,
             "duration must be positive"
         );
-        let mut out: Vec<DemandEntry> = self
-            .entries
-            .iter()
-            .map(|(&(src, dst), &bytes)| DemandEntry {
-                src,
-                dst,
-                bytes,
-                mbps: bytes as f64 * 8.0 / duration_secs / 1e6,
-            })
-            .collect();
-        out.sort_by_key(|e| (e.src, e.dst));
-        out
+        // Entries are maintained sorted by (src, dst); emit in place.
+        self.entries.iter().map(move |&((src, dst), bytes)| DemandEntry {
+            src,
+            dst,
+            bytes,
+            mbps: bytes as f64 * 8.0 / duration_secs / 1e6,
+        })
     }
 
     /// Aggregate demand in Gbps over a window of `duration_secs`
@@ -164,6 +209,41 @@ mod tests {
         for w in d.windows(2) {
             assert!((w[0].src, w[0].dst) < (w[1].src, w[1].dst));
         }
+    }
+
+    #[test]
+    fn unsorted_input_aggregates_like_sorted() {
+        // Same flows in shuffled order: totals, len, and demand order
+        // must not change.
+        let mut flows = vec![
+            flow([9, 0, 0, 1], [1, 0, 0, 1], 1, 10),
+            flow([1, 0, 0, 1], [9, 0, 0, 1], 1, 20),
+            flow([9, 0, 0, 1], [1, 0, 0, 1], 2, 40),
+            flow([5, 0, 0, 1], [5, 0, 0, 2], 1, 30),
+            flow([1, 0, 0, 1], [9, 0, 0, 1], 3, 5),
+        ];
+        let shuffled = TrafficMatrix::from_flows(&flows);
+        flows.sort_by_key(|f| f.key);
+        let sorted = TrafficMatrix::from_flows(&flows);
+        assert_eq!(shuffled.len(), sorted.len());
+        assert_eq!(shuffled.total_bytes(), sorted.total_bytes());
+        assert_eq!(shuffled.demands(1.0), sorted.demands(1.0));
+    }
+
+    #[test]
+    fn add_matches_from_flows() {
+        let flows = [
+            flow([2, 0, 0, 1], [1, 0, 0, 1], 1, 7),
+            flow([1, 0, 0, 1], [2, 0, 0, 1], 1, 3),
+            flow([2, 0, 0, 1], [1, 0, 0, 1], 9, 5),
+        ];
+        let built = TrafficMatrix::from_flows(&flows);
+        let mut added = TrafficMatrix::default();
+        for f in &flows {
+            let (src, dst) = f.key.host_pair();
+            added.add(src, dst, f.bytes);
+        }
+        assert_eq!(built.demands(1.0), added.demands(1.0));
     }
 
     #[test]

@@ -11,6 +11,8 @@ use std::net::Ipv4Addr;
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
+use crate::key::FlowKey;
+
 /// NetFlow version this module speaks.
 pub const NETFLOW_V5: u16 = 5;
 /// Size of the v5 packet header in bytes.
@@ -277,6 +279,141 @@ impl V5Packet {
     }
 }
 
+#[inline]
+fn be16(data: &[u8], at: usize) -> u16 {
+    u16::from_be_bytes([data[at], data[at + 1]])
+}
+
+#[inline]
+fn be32(data: &[u8], at: usize) -> u32 {
+    u32::from_be_bytes([data[at], data[at + 1], data[at + 2], data[at + 3]])
+}
+
+/// A zero-copy view of one export datagram: the collector's hot path.
+///
+/// [`V5PacketView::parse`] validates exactly what [`V5Packet::decode`]
+/// validates — same [`DecodeError`] for the same input, byte for byte —
+/// but borrows the datagram instead of materializing a `Vec<V5Record>`.
+/// Records are read lazily, straight from the wire bytes, via
+/// [`V5PacketView::record`] / [`V5PacketView::records`], and the
+/// collector's aggregation loop uses [`V5PacketView::flow_tuples`] to
+/// pull only the five key fields plus the two counters it needs.
+/// `V5Packet` remains the owned type, with an intentionally independent
+/// decode implementation the differential tests compare against.
+#[derive(Debug, Clone, Copy)]
+pub struct V5PacketView<'a> {
+    header: V5Header,
+    /// Exactly `header.count * RECORD_LEN` bytes of record payload.
+    payload: &'a [u8],
+}
+
+impl<'a> V5PacketView<'a> {
+    /// Parses the header and bounds-checks the payload without copying.
+    pub fn parse(data: &'a [u8]) -> Result<V5PacketView<'a>, DecodeError> {
+        if data.len() < HEADER_LEN {
+            return Err(DecodeError::Truncated {
+                needed: HEADER_LEN,
+                available: data.len(),
+            });
+        }
+        let version = be16(data, 0);
+        if version != NETFLOW_V5 {
+            return Err(DecodeError::BadVersion(version));
+        }
+        let count = be16(data, 2);
+        if count == 0 || count as usize > MAX_RECORDS_PER_PACKET {
+            return Err(DecodeError::BadCount(count));
+        }
+        let needed = count as usize * RECORD_LEN;
+        let payload = &data[HEADER_LEN..];
+        if payload.len() < needed {
+            return Err(DecodeError::BadCount(count));
+        }
+        Ok(V5PacketView {
+            header: V5Header {
+                count,
+                sys_uptime_ms: be32(data, 4),
+                unix_secs: be32(data, 8),
+                unix_nsecs: be32(data, 12),
+                flow_sequence: be32(data, 16),
+                engine_type: data[20],
+                engine_id: data[21],
+                sampling_interval: be16(data, 22),
+            },
+            payload: &payload[..needed],
+        })
+    }
+
+    /// The parsed header.
+    pub fn header(&self) -> &V5Header {
+        &self.header
+    }
+
+    /// Number of records in the datagram (1–30, already validated).
+    pub fn record_count(&self) -> usize {
+        self.header.count as usize
+    }
+
+    /// Reads record `i` from the wire bytes. Panics if `i` is out of
+    /// range (`i < record_count` is the caller's contract).
+    pub fn record(&self, i: usize) -> V5Record {
+        let r = &self.payload[i * RECORD_LEN..(i + 1) * RECORD_LEN];
+        V5Record {
+            src_addr: Ipv4Addr::from(be32(r, 0)),
+            dst_addr: Ipv4Addr::from(be32(r, 4)),
+            next_hop: Ipv4Addr::from(be32(r, 8)),
+            input_if: be16(r, 12),
+            output_if: be16(r, 14),
+            packets: be32(r, 16),
+            octets: be32(r, 20),
+            first_ms: be32(r, 24),
+            last_ms: be32(r, 28),
+            src_port: be16(r, 32),
+            dst_port: be16(r, 34),
+            tcp_flags: r[37],
+            protocol: r[38],
+            tos: r[39],
+            src_as: be16(r, 40),
+            dst_as: be16(r, 42),
+            src_mask: r[44],
+            dst_mask: r[45],
+        }
+    }
+
+    /// Lazy record iterator (no per-packet allocation).
+    pub fn records(&self) -> impl Iterator<Item = V5Record> + '_ {
+        (0..self.record_count()).map(|i| self.record(i))
+    }
+
+    /// The aggregation-loop accessor: record `i`'s 5-tuple key plus its
+    /// raw `(octets, packets)` counters, skipping the eleven fields the
+    /// collector never looks at.
+    pub fn flow_tuple(&self, i: usize) -> (FlowKey, u32, u32) {
+        let r = &self.payload[i * RECORD_LEN..(i + 1) * RECORD_LEN];
+        let key = FlowKey {
+            src_addr: Ipv4Addr::from(be32(r, 0)),
+            dst_addr: Ipv4Addr::from(be32(r, 4)),
+            src_port: be16(r, 32),
+            dst_port: be16(r, 34),
+            protocol: r[38],
+        };
+        (key, be32(r, 20), be32(r, 16))
+    }
+
+    /// Iterator over [`V5PacketView::flow_tuple`] for every record.
+    pub fn flow_tuples(&self) -> impl Iterator<Item = (FlowKey, u32, u32)> + '_ {
+        (0..self.record_count()).map(|i| self.flow_tuple(i))
+    }
+
+    /// Materializes the owned compat type (tests and slow paths).
+    pub fn to_packet(&self) -> V5Packet {
+        V5Packet {
+            header: self.header,
+            records: self.records().collect(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -413,6 +550,81 @@ mod tests {
         let data: Vec<u8> = (0..512u32).map(|i| (i.wrapping_mul(197) >> 3) as u8).collect();
         for len in 0..data.len() {
             let _ = V5Packet::decode(&data[..len]);
+        }
+    }
+
+    #[test]
+    fn view_agrees_with_owned_decode() {
+        let pkt = V5Packet {
+            header: sample_header(),
+            records: vec![sample_record(1), sample_record(2)],
+        };
+        let wire = pkt.encode();
+        let view = V5PacketView::parse(&wire).unwrap();
+        assert_eq!(*view.header(), pkt.header);
+        assert_eq!(view.record_count(), 2);
+        assert_eq!(view.record(0), pkt.records[0]);
+        assert_eq!(view.record(1), pkt.records[1]);
+        assert_eq!(view.records().collect::<Vec<_>>(), pkt.records);
+        assert_eq!(view.to_packet(), pkt);
+    }
+
+    #[test]
+    fn view_flow_tuple_matches_record_fields() {
+        let pkt = V5Packet {
+            header: sample_header(),
+            records: vec![sample_record(3), sample_record(4)],
+        };
+        let wire = pkt.encode();
+        let view = V5PacketView::parse(&wire).unwrap();
+        for (i, r) in pkt.records.iter().enumerate() {
+            let (key, octets, packets) = view.flow_tuple(i);
+            assert_eq!(key, FlowKey::from_record(r));
+            assert_eq!(octets, r.octets);
+            assert_eq!(packets, r.packets);
+        }
+        let tuples: Vec<_> = view.flow_tuples().collect();
+        assert_eq!(tuples.len(), 2);
+        assert_eq!(tuples[0], view.flow_tuple(0));
+    }
+
+    #[test]
+    fn view_errors_match_owned_decode_errors() {
+        // Ignoring trailing bytes, truncation, bad version, bad count:
+        // the view must return the exact error the owned decoder does.
+        let pkt = V5Packet {
+            header: sample_header(),
+            records: vec![sample_record(1), sample_record(2)],
+        };
+        let wire = pkt.encode().to_vec();
+        let mut with_trailer = wire.clone();
+        with_trailer.extend_from_slice(&[0xAA; 13]);
+        assert_eq!(
+            V5PacketView::parse(&with_trailer).unwrap().to_packet(),
+            V5Packet::decode(&with_trailer).unwrap()
+        );
+        for len in 0..wire.len() {
+            let truncated = &wire[..len];
+            assert_eq!(
+                V5PacketView::parse(truncated).map(|v| v.to_packet()),
+                V5Packet::decode(truncated),
+                "prefix of {len} bytes"
+            );
+        }
+        let mut bad_version = wire.clone();
+        bad_version[1] = 9;
+        assert_eq!(
+            V5PacketView::parse(&bad_version).unwrap_err(),
+            V5Packet::decode(&bad_version).unwrap_err()
+        );
+        for count in [0u16, 31, 0xFFFF] {
+            let mut bad_count = wire.clone();
+            bad_count[2..4].copy_from_slice(&count.to_be_bytes());
+            assert_eq!(
+                V5PacketView::parse(&bad_count).unwrap_err(),
+                V5Packet::decode(&bad_count).unwrap_err(),
+                "count {count}"
+            );
         }
     }
 }

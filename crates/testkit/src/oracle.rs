@@ -8,7 +8,7 @@
 //! | `CoalescedMarket` (ε > 0, CED) | `OptimalExhaustive` on raw | `π_raw − π_ε ≤ 2·D_exact ≤ 2·D(ε)` |
 //! | `OptimalDp` tiled (`dp_threads ∈ {2, 8}`) | `dp_threads = 1` | bitwise |
 //! | `bundle_series` (every strategy) | per-point `bundle` loop | bitwise |
-//! | sharded `ingest_batch` (`{1, 4, 16}`) | serial `ingest` | exact counter equality |
+//! | sharded + parallel `ingest_batch` (shards `{1, 4, 16}` × workers `{1, 2, 8}`) | serial `ingest` | exact state, counter, and registry-delta equality |
 //!
 //! Every oracle is *total*: malformed scenarios (the shrinker produces
 //! plenty) come back as [`Verdict::Skip`], never a panic, so a shrink
@@ -27,7 +27,7 @@ use transit_core::demand::logit::LogitAlpha;
 use transit_core::fitting::{fit_ced, fit_logit};
 use transit_core::flow::TrafficFlow;
 use transit_core::market::{CedMarket, LogitMarket, TransitMarket};
-use transit_netflow::{Collector, Exporter, FlowKey, SystematicSampler};
+use transit_netflow::{Collector, CollectorStats, Exporter, FlowKey, SystematicSampler};
 
 use crate::faults::apply_faults;
 use crate::scenario::{DemandSpec, IngestScenario, MarketSpec, Scenario};
@@ -644,6 +644,13 @@ fn observe(collector: &Collector, n_routers: usize) -> IngestObservation {
     }
 }
 
+/// Serializes ingest-oracle runs within this process: the oracle
+/// asserts on deltas of the process-global metrics registry, which a
+/// concurrently running oracle (e.g. two `#[test]`s in one binary)
+/// would interleave. Poisoning is ignored — a panicked holder cannot
+/// corrupt the registry, only its own assertion.
+static INGEST_ORACLE_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
 fn check_ingest(s: &IngestScenario) -> Result<Verdict, Divergence> {
     const F: &str = "ingest";
     if s.n_flows == 0 || s.n_routers == 0 {
@@ -653,56 +660,95 @@ fn check_ingest(s: &IngestScenario) -> Result<Verdict, Divergence> {
     if stream.is_empty() {
         return Ok(Verdict::Skip("sampling produced no datagrams"));
     }
+    let _guard = INGEST_ORACLE_LOCK
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
 
     // Reference: one serial collector, one datagram at a time; decode
     // failures are expected under fault injection.
+    let before = CollectorStats::snapshot();
     let mut reference = Collector::new();
     for dgram in &stream {
         let _ = reference.ingest(dgram);
     }
     let expected = observe(&reference, s.n_routers);
+    let expected_delta = CollectorStats::snapshot().delta_since(&before);
 
     for shards in [1usize, 4, 16] {
-        let mut collector = Collector::with_shards(shards);
-        collector.ingest_batch(&stream);
-        let got = observe(&collector, s.n_routers);
-        if got != expected {
-            return Err(div(
-                F,
-                format!(
-                    "shards={shards}: batch ingest diverges from serial reference \
-                     (stats {:?} vs {:?}, lost {} vs {}, flows {} vs {})",
-                    got.stats,
-                    expected.stats,
-                    got.lost_total,
-                    expected.lost_total,
-                    got.flow_count,
-                    expected.flow_count
-                ),
-            ));
-        }
-        // Accounting consistency: every datagram is either counted or a
-        // decode error, and every stored flow lives in exactly one shard.
-        let (datagrams, _records, decode_errors) = got.stats;
-        if datagrams + decode_errors != stream.len() as u64 {
-            return Err(div(
-                F,
-                format!(
-                    "shards={shards}: datagrams {datagrams} + decode_errors {decode_errors} \
-                     != stream length {}",
-                    stream.len()
-                ),
-            ));
-        }
-        let occupancy: usize = collector.shard_occupancy().iter().sum();
-        if occupancy != got.flow_count {
-            return Err(div(
-                F,
-                format!(
-                    "shards={shards}: shard occupancy {occupancy} != flow count {}",
-                    got.flow_count
-                ),
-            ));
+        for workers in [1usize, 2, 8] {
+            let before = CollectorStats::snapshot();
+            let mut collector = Collector::with_shards_and_workers(shards, workers);
+            collector.ingest_batch(&stream);
+            let got = observe(&collector, s.n_routers);
+            let delta = CollectorStats::snapshot().delta_since(&before);
+            let combo = format!("shards={shards} workers={workers}");
+            if got != expected {
+                return Err(div(
+                    F,
+                    format!(
+                        "{combo}: batch ingest diverges from serial reference \
+                         (stats {:?} vs {:?}, lost {} vs {}, flows {} vs {})",
+                        got.stats,
+                        expected.stats,
+                        got.lost_total,
+                        expected.lost_total,
+                        got.flow_count,
+                        expected.flow_count
+                    ),
+                ));
+            }
+            // Registry deltas: the batch path must move the process-wide
+            // counters exactly as serial ingest did, and route every
+            // record through the sharded counter.
+            if (delta.datagrams, delta.records, delta.decode_errors, delta.lost_records)
+                != (
+                    expected_delta.datagrams,
+                    expected_delta.records,
+                    expected_delta.decode_errors,
+                    expected_delta.lost_records,
+                )
+            {
+                return Err(div(
+                    F,
+                    format!(
+                        "{combo}: registry delta {delta:?} diverges from serial \
+                         reference delta {expected_delta:?}"
+                    ),
+                ));
+            }
+            if delta.sharded_records != delta.records {
+                return Err(div(
+                    F,
+                    format!(
+                        "{combo}: sharded_records delta {} != records delta {}",
+                        delta.sharded_records, delta.records
+                    ),
+                ));
+            }
+            // Accounting consistency: every datagram is either counted or
+            // a decode error, and every stored flow lives in exactly one
+            // shard.
+            let (datagrams, _records, decode_errors) = got.stats;
+            if datagrams + decode_errors != stream.len() as u64 {
+                return Err(div(
+                    F,
+                    format!(
+                        "{combo}: datagrams {datagrams} + decode_errors {decode_errors} \
+                         != stream length {}",
+                        stream.len()
+                    ),
+                ));
+            }
+            let occupancy: usize = collector.shard_occupancy().iter().sum();
+            if occupancy != got.flow_count {
+                return Err(div(
+                    F,
+                    format!(
+                        "{combo}: shard occupancy {occupancy} != flow count {}",
+                        got.flow_count
+                    ),
+                ));
+            }
         }
     }
     Ok(Verdict::Pass)

@@ -28,6 +28,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         window_secs: 60.0,
         packet_bytes: 1500,
         ingest_shards: 1,
+        ingest_workers: 1,
     };
     let out = run_pipeline(&dataset, config);
     let measured_mbps: f64 = out.measured_flows.iter().map(|f| f.demand_mbps).sum();

@@ -32,6 +32,14 @@ cargo run --release -q -p transit-testkit --bin fuzz_smoke -- \
 echo "== large-n smoke (100k coalesced end-to-end, 120s budget) =="
 cargo run --release -q -p transit-bench --bin sweep_smoke -- --smoke 100000 120
 
+# Bounded ingest smoke: encode 100k raw flows to wire once, ingest them
+# through the serial path and the parallel fast path, and require
+# byte-identical collector state plus a wall-clock budget. This is the
+# cheap end-to-end proof that the zero-copy/parallel ingest rewrite
+# stays exact on every machine the gate runs on.
+echo "== ingest smoke (serial vs parallel fast path, 60s budget) =="
+cargo run --release -q -p transit-bench --bin sweep_smoke -- --ingest-smoke 100000 60
+
 # Perf gate (schema v3): measure fresh and compare against the committed
 # BENCH_sweep.json. Fails if items_per_sec_jobs1 drops >20%, the
 # one-pass capture kernel loses its >=5x win, or the million-flow path

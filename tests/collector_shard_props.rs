@@ -1,9 +1,11 @@
 //! `Collector` loss/drop/overflow accounting must be a pure function of
 //! the arrival-order datagram stream — never of how many shards the
-//! flow table is split across. These properties pin that invariant for
-//! shard counts {1, 4, 16} on fuzzer-generated fault streams, plus
-//! deterministic cases for the two trickiest behaviors: exact
-//! sequence-gap counting and mid-stream `u32` sequence wraparound.
+//! flow table is split across, nor of how many worker threads the batch
+//! fast path decodes and folds with. These properties pin that
+//! invariant for shard counts {1, 4, 16} × ingest workers {1, 2, 8} on
+//! fuzzer-generated fault streams, plus deterministic cases for the two
+//! trickiest behaviors: exact sequence-gap counting and mid-stream
+//! `u32` sequence wraparound.
 //!
 //! The registry-delta test reads process-global `CollectorStats`
 //! counters and every ingest bumps them, so all tests in this file
@@ -54,18 +56,21 @@ fn serial_reference(stream: &[Vec<u8>], n_routers: usize) -> Observation {
 fn assert_shard_invariant(stream: &[Vec<u8>], n_routers: usize) {
     let expected = serial_reference(stream, n_routers);
     for shards in [1usize, 4, 16] {
-        let mut collector = Collector::with_shards(shards);
-        collector.ingest_batch(stream);
-        let got = observe(&collector, n_routers);
-        assert_eq!(
-            got, expected,
-            "shards={shards} diverges from the serial reference"
-        );
-        assert_eq!(
-            got.stats.0 + got.stats.2,
-            stream.len() as u64,
-            "shards={shards}: every datagram must be counted or a decode error"
-        );
+        for workers in [1usize, 2, 8] {
+            let mut collector = Collector::with_shards_and_workers(shards, workers);
+            collector.ingest_batch(stream);
+            let got = observe(&collector, n_routers);
+            assert_eq!(
+                got, expected,
+                "shards={shards} workers={workers} diverges from the serial reference"
+            );
+            assert_eq!(
+                got.stats.0 + got.stats.2,
+                stream.len() as u64,
+                "shards={shards} workers={workers}: every datagram must be counted \
+                 or a decode error"
+            );
+        }
     }
 }
 
@@ -88,7 +93,8 @@ proptest! {
 
     /// Fuzzer-generated ingest scenarios (faulted streams, multiple
     /// routers, sampling, near-overflow sequence bases): every counter
-    /// and every aggregated flow is identical at shards {1, 4, 16}.
+    /// and every aggregated flow is identical at shards {1, 4, 16} ×
+    /// workers {1, 2, 8}.
     #[test]
     fn counters_are_shard_count_invariant(seed in 0usize..4096) {
         let _guard = REGISTRY_LOCK.lock().unwrap();
@@ -152,11 +158,11 @@ fn sequence_overflow_mid_stream() {
     assert_shard_invariant(&stream, 2);
 }
 
-/// Process-global `CollectorStats` registry deltas are also shard-count
-/// invariant: the batch path reports the same datagram/record/error/loss
-/// activity whatever the shard count.
+/// Process-global `CollectorStats` registry deltas are also invariant
+/// across shard and worker counts: the batch path reports the same
+/// datagram/record/error/loss activity whatever the parallelism.
 #[test]
-fn registry_deltas_are_shard_count_invariant() {
+fn registry_deltas_are_shard_and_worker_count_invariant() {
     let _guard = REGISTRY_LOCK.lock().unwrap();
     let scenario = two_router_scenario(
         vec![
@@ -170,28 +176,32 @@ fn registry_deltas_are_shard_count_invariant() {
 
     let mut deltas = Vec::new();
     for shards in [1usize, 4, 16] {
-        let baseline = CollectorStats::snapshot();
-        let mut collector = Collector::with_shards(shards);
-        collector.ingest_batch(&stream);
-        let delta = CollectorStats::snapshot().delta_since(&baseline);
-        assert_eq!(
-            delta.datagrams + delta.decode_errors,
-            stream.len() as u64,
-            "shards={shards}: registry must account for every datagram"
-        );
-        assert_eq!(
-            delta.sharded_records, delta.records,
-            "shards={shards}: batch path routes every record through shards"
-        );
-        let (datagrams, records, decode_errors) = collector.stats();
-        assert_eq!(
-            (delta.datagrams, delta.records, delta.decode_errors),
-            (datagrams, records, decode_errors),
-            "shards={shards}: registry delta must mirror local stats"
-        );
-        assert_eq!(delta.lost_records, collector.lost_records());
-        deltas.push(delta);
+        for workers in [1usize, 2, 8] {
+            let baseline = CollectorStats::snapshot();
+            let mut collector = Collector::with_shards_and_workers(shards, workers);
+            collector.ingest_batch(&stream);
+            let delta = CollectorStats::snapshot().delta_since(&baseline);
+            let combo = format!("shards={shards} workers={workers}");
+            assert_eq!(
+                delta.datagrams + delta.decode_errors,
+                stream.len() as u64,
+                "{combo}: registry must account for every datagram"
+            );
+            assert_eq!(
+                delta.sharded_records, delta.records,
+                "{combo}: batch path routes every record through shards"
+            );
+            let (datagrams, records, decode_errors) = collector.stats();
+            assert_eq!(
+                (delta.datagrams, delta.records, delta.decode_errors),
+                (datagrams, records, decode_errors),
+                "{combo}: registry delta must mirror local stats"
+            );
+            assert_eq!(delta.lost_records, collector.lost_records());
+            deltas.push(delta);
+        }
     }
-    assert_eq!(deltas[0], deltas[1]);
-    assert_eq!(deltas[1], deltas[2]);
+    for pair in deltas.windows(2) {
+        assert_eq!(pair[0], pair[1]);
+    }
 }

@@ -29,6 +29,7 @@ fn measured_market_reaches_same_conclusions_as_truth() {
             window_secs: 60.0,
             packet_bytes: 1500,
             ingest_shards: 1,
+            ingest_workers: 1,
         },
     );
     assert!(out.measured_flows.len() >= 55, "few flows lost to sampling");

@@ -1,0 +1,130 @@
+//! The batch ingest fast path must emit the **same journal event
+//! sequence** as serial per-datagram ingestion: one
+//! `netflow.collector.decode_errors` counter sample per malformed
+//! datagram and one `netflow.collector.lost_records` sample per
+//! detected sequence gap, in arrival order. This pins the satellite fix
+//! that `ingest_batch`'s decode-error path journals exactly like
+//! `Collector::ingest`, and that the parallel pipeline's serial
+//! accounting replay preserves event order.
+//!
+//! The journal sink is process-global, so this file holds exactly one
+//! test; counter values in the journal are process-lifetime totals, so
+//! runs are compared by event names and per-name increments, not
+//! absolute values.
+
+use tiered_transit::netflow::Collector;
+use tiered_transit::obs::journal;
+use transit_testkit::{materialize_stream, Fault, IngestScenario};
+
+/// The collector journal trace of one run: event names in emission
+/// order, each with its increment over the previous value of the same
+/// counter within the run.
+fn collector_events(dir: &std::path::Path) -> Vec<(String, u64)> {
+    let path = dir.join("events.jsonl");
+    let text = std::fs::read_to_string(&path).expect("events.jsonl readable");
+    let mut last: std::collections::HashMap<String, u64> = std::collections::HashMap::new();
+    let mut out = Vec::new();
+    for line in text.lines().skip(1) {
+        // Header line first; every other line is one event.
+        let v: serde_json::Value = serde_json::from_str(line).expect("event line parses");
+        let (Some(ph), Some(name)) = (
+            v.get("ph").and_then(|x| x.as_str()),
+            v.get("name").and_then(|x| x.as_str()),
+        ) else {
+            continue;
+        };
+        if ph != "C" || !name.starts_with("netflow.collector.") {
+            continue;
+        }
+        let value = v.get("value").and_then(|x| x.as_f64()).unwrap_or(0.0) as u64;
+        let prev = last.insert(name.to_string(), value);
+        // First sample of a counter in this run: the increment is
+        // unknowable from the cumulative value alone, so normalize to 1
+        // (both decode errors and the smallest gap emit one sample per
+        // unit of the first event's own delta being compared downstream).
+        let delta = prev.map_or(u64::MAX, |p| value.saturating_sub(p));
+        out.push((name.to_string(), delta));
+    }
+    // The first event of each counter has an unknowable base; replace
+    // its sentinel with 0 so two runs with different process histories
+    // still compare equal when their *subsequent* increments agree.
+    let mut seen = std::collections::HashSet::new();
+    for (name, delta) in &mut out {
+        if seen.insert(name.clone()) {
+            *delta = 0;
+        }
+    }
+    out
+}
+
+/// One faulted two-router stream: truncated datagrams (decode errors),
+/// a dropped datagram (sequence gap), and a duplicate.
+fn faulted_stream() -> Vec<Vec<u8>> {
+    materialize_stream(&IngestScenario {
+        n_flows: 90,
+        n_routers: 2,
+        sampling_rate: 1,
+        packets_per_flow: 10,
+        packet_bytes: 1000,
+        seq_base: u32::MAX - 17,
+        faults: vec![
+            Fault::Truncate { index: 1, keep: 10 },
+            // Arrival order is [r0p0, r1p0, r0p1, r1p1, r0p2, r1p2];
+            // dropping r0p1 opens a 30-record gap for router 0 (r0p0
+            // already established its expected sequence).
+            Fault::Drop { index: 2 },
+            Fault::Duplicate { index: 0 },
+            // After the drop + duplicate the stream is
+            // [r0p0, r0p0, r1p0(truncated), r1p1, r0p2, r1p2]; truncating
+            // index 5 (r1p2) keeps r0p2 intact so router 0's gap is
+            // actually observed.
+            Fault::Truncate { index: 5, keep: 30 },
+        ],
+    })
+}
+
+#[test]
+fn batch_paths_journal_identically_to_serial_ingest() {
+    let stream = faulted_stream();
+    let base = std::env::temp_dir().join(format!("transit_ingest_journal_{}", std::process::id()));
+
+    // Serial reference: per-datagram ingest.
+    let dir_serial = base.join("serial");
+    journal::enable(&dir_serial).expect("journal enables");
+    let mut reference = Collector::new();
+    for dgram in &stream {
+        let _ = reference.ingest(dgram);
+    }
+    journal::disable();
+    let expected = collector_events(&dir_serial);
+
+    // The reference stream must actually exercise both journaled paths.
+    assert!(
+        expected.iter().any(|(n, _)| n.ends_with("decode_errors")),
+        "scenario produced no decode errors"
+    );
+    assert!(
+        expected.iter().any(|(n, _)| n.ends_with("lost_records")),
+        "scenario produced no sequence gaps"
+    );
+
+    for (label, shards, workers) in [
+        ("batch-serial", 4usize, 1usize),
+        ("batch-parallel", 4, 4),
+        ("batch-parallel-wide", 16, 8),
+    ] {
+        let dir = base.join(label);
+        journal::enable(&dir).expect("journal enables");
+        let mut collector = Collector::with_shards_and_workers(shards, workers);
+        collector.ingest_batch(&stream);
+        journal::disable();
+        let got = collector_events(&dir);
+        assert_eq!(
+            got, expected,
+            "{label} (shards={shards}, workers={workers}): journal event \
+             sequence diverges from serial ingest"
+        );
+    }
+
+    std::fs::remove_dir_all(&base).ok();
+}

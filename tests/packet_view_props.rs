@@ -1,0 +1,159 @@
+//! The zero-copy `V5PacketView` parser must be observationally
+//! indistinguishable from the owned `V5Packet::decode` path: identical
+//! headers and records on every valid datagram, and identical
+//! `DecodeError`s on every malformed one. These properties drive both
+//! parsers over generated valid packets (random headers, record counts,
+//! and field values) and over fuzzed corruptions — truncations at every
+//! interesting boundary, bad versions, bad counts, and arbitrary byte
+//! flips — asserting bitwise agreement throughout.
+
+use proptest::prelude::*;
+use tiered_transit::netflow::{V5Packet, V5PacketView};
+
+/// Encodes a syntactically valid v5 datagram with `n_records` records
+/// whose field bytes are filled from a simple deterministic generator
+/// seeded by `seed` (full-range values, including ones that look like
+/// garbage — the wire format has no semantic validation below the
+/// header).
+fn valid_datagram(n_records: usize, seed: u64, seq: u32, engine_id: u8, rate: u16) -> Vec<u8> {
+    let mut out = Vec::with_capacity(24 + 48 * n_records);
+    out.extend_from_slice(&5u16.to_be_bytes()); // version
+    out.extend_from_slice(&(n_records as u16).to_be_bytes());
+    out.extend_from_slice(&0x11223344u32.to_be_bytes()); // sys_uptime
+    out.extend_from_slice(&0x55667788u32.to_be_bytes()); // unix_secs
+    out.extend_from_slice(&0x99aabbccu32.to_be_bytes()); // unix_nsecs
+    out.extend_from_slice(&seq.to_be_bytes());
+    out.push(0); // engine_type
+    out.push(engine_id);
+    out.extend_from_slice(&rate.to_be_bytes());
+    // splitmix64 over the seed fills record bytes deterministically.
+    let mut state = seed;
+    let mut next = move || {
+        state = state.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    };
+    for _ in 0..n_records {
+        for _ in 0..6 {
+            out.extend_from_slice(&next().to_be_bytes());
+        }
+    }
+    out
+}
+
+/// Asserts both parsers agree bitwise on `data` — same error, or same
+/// header plus identical records and flow tuples.
+fn assert_parsers_agree(data: &[u8]) {
+    let owned = V5Packet::decode(data);
+    let view = V5PacketView::parse(data);
+    match (owned, view) {
+        (Err(a), Err(b)) => assert_eq!(a, b, "different DecodeError for {} bytes", data.len()),
+        (Ok(p), Ok(v)) => {
+            assert_eq!(p.header, *v.header());
+            assert_eq!(p.records.len(), v.record_count());
+            for (i, r) in p.records.iter().enumerate() {
+                assert_eq!(*r, v.record(i), "record {i}");
+            }
+            let roundtrip = v.to_packet();
+            assert_eq!(p.header, roundtrip.header);
+            assert_eq!(p.records, roundtrip.records);
+        }
+        (owned, view) => panic!(
+            "parsers disagree on validity for {} bytes: owned {:?} vs view {:?}",
+            data.len(),
+            owned.map(|p| p.records.len()),
+            view.map(|v| v.record_count())
+        ),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Valid packets: the view agrees bitwise with the owned decoder on
+    /// header, every record, and the encode round trip.
+    #[test]
+    fn view_matches_owned_decode_on_valid_packets(
+        n_records in 1usize..=30,
+        seed in any::<u64>(),
+        seq in any::<u32>(),
+        engine_id in any::<u8>(),
+        rate in any::<u16>(),
+    ) {
+        let data = valid_datagram(n_records, seed, seq, engine_id, rate);
+        assert_parsers_agree(&data);
+        // Trailing garbage after the advertised records is ignored by
+        // both parsers.
+        let mut padded = data.clone();
+        padded.extend_from_slice(&[0xAB; 13]);
+        assert_parsers_agree(&padded);
+    }
+
+    /// Truncations: every prefix of a valid packet yields the identical
+    /// `DecodeError` (or identical success for prefixes that still hold
+    /// the advertised records) from both parsers.
+    #[test]
+    fn truncated_packets_yield_identical_errors(
+        n_records in 1usize..=4,
+        seed in any::<u64>(),
+        cut in 0usize..=216,
+    ) {
+        let data = valid_datagram(n_records, seed, 77, 3, 1);
+        let cut = cut.min(data.len());
+        assert_parsers_agree(&data[..cut]);
+    }
+
+    /// Corrupted headers: arbitrary version and count fields (including
+    /// 0, >30, and huge counts) fail identically in both parsers.
+    #[test]
+    fn bad_version_and_count_yield_identical_errors(
+        version in any::<u16>(),
+        count in any::<u16>(),
+        n_records in 0usize..=3,
+        seed in any::<u64>(),
+    ) {
+        let mut data = valid_datagram(n_records.max(1), seed, 9, 1, 1);
+        data[0..2].copy_from_slice(&version.to_be_bytes());
+        data[2..4].copy_from_slice(&count.to_be_bytes());
+        assert_parsers_agree(&data);
+    }
+
+    /// Arbitrary single-byte flips anywhere in the datagram: whatever
+    /// the corruption does (new error, different field values, even a
+    /// shorter valid packet), both parsers see exactly the same thing.
+    #[test]
+    fn random_byte_flips_keep_parsers_in_agreement(
+        n_records in 1usize..=8,
+        seed in any::<u64>(),
+        flip_at in 0usize..408,
+        flip_to in any::<u8>(),
+    ) {
+        let mut data = valid_datagram(n_records, seed, 4242, 7, 10);
+        let at = flip_at % data.len();
+        data[at] = flip_to;
+        assert_parsers_agree(&data);
+    }
+
+    /// Pure noise: random byte strings of any length never make the
+    /// parsers disagree (almost always both reject; if noise happens to
+    /// form a valid packet, both accept it identically).
+    #[test]
+    fn random_bytes_never_split_the_parsers(
+        data in prop::collection::vec(any::<u8>(), 0..256),
+    ) {
+        assert_parsers_agree(&data);
+    }
+}
+
+/// The exact boundary cases that have historically differed between
+/// length-checked parsers: empty input, one byte short of a header, a
+/// header alone, and one byte short of the advertised payload.
+#[test]
+fn boundary_truncations_agree_exactly() {
+    let data = valid_datagram(2, 99, 1_000, 2, 1);
+    for cut in [0, 1, 23, 24, 25, 24 + 47, 24 + 48, 24 + 95, 24 + 96] {
+        assert_parsers_agree(&data[..cut]);
+    }
+}

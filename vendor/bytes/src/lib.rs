@@ -63,6 +63,20 @@ impl Buf for &[u8] {
         *self = rest;
         first
     }
+
+    // Word-at-a-time overrides: one bounds check per integer instead of
+    // one per byte — the decode hot path reads tens of bytes per record.
+    fn get_u16(&mut self) -> u16 {
+        let (head, rest) = self.split_at(2);
+        *self = rest;
+        u16::from_be_bytes(head.try_into().expect("split_at(2) yields 2 bytes"))
+    }
+
+    fn get_u32(&mut self) -> u32 {
+        let (head, rest) = self.split_at(4);
+        *self = rest;
+        u32::from_be_bytes(head.try_into().expect("split_at(4) yields 4 bytes"))
+    }
 }
 
 /// An immutable byte buffer that advances past bytes as they are read.
@@ -112,6 +126,26 @@ impl Buf for Bytes {
         let b = self.data[self.pos];
         self.pos += 1;
         b
+    }
+
+    fn get_u16(&mut self) -> u16 {
+        let v = u16::from_be_bytes(
+            self.data[self.pos..self.pos + 2]
+                .try_into()
+                .expect("2-byte slice"),
+        );
+        self.pos += 2;
+        v
+    }
+
+    fn get_u32(&mut self) -> u32 {
+        let v = u32::from_be_bytes(
+            self.data[self.pos..self.pos + 4]
+                .try_into()
+                .expect("4-byte slice"),
+        );
+        self.pos += 4;
+        v
     }
 }
 
@@ -170,11 +204,29 @@ impl BufMut for BytesMut {
     fn put_u8(&mut self, v: u8) {
         self.data.push(v);
     }
+
+    fn put_u16(&mut self, v: u16) {
+        self.data.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn put_u32(&mut self, v: u32) {
+        self.data.extend_from_slice(&v.to_be_bytes());
+    }
 }
 
 impl BufMut for Vec<u8> {
     fn put_u8(&mut self, v: u8) {
         self.push(v);
+    }
+
+    // Word-at-a-time overrides: one grow/bounds check per integer
+    // instead of one per byte on the encode hot path.
+    fn put_u16(&mut self, v: u16) {
+        self.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn put_u32(&mut self, v: u32) {
+        self.extend_from_slice(&v.to_be_bytes());
     }
 }
 
