@@ -291,6 +291,58 @@ fn engine_overhead(c: &mut Criterion) {
     g.finish();
 }
 
+/// The work-stealing pool's own primitives: indexed map over many tiny
+/// items at budget ∈ {1, N} (budget 1 is the inline serial fallback, so
+/// the pair reads as dispatch overhead vs pure loop), bare fan-out
+/// dispatch cost, and a nested fan-out (parallel region inside a pool
+/// task, exercising the budget split).
+fn pool_kernels(c: &mut Criterion) {
+    let cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let items: Vec<u64> = (0..10_000).collect();
+    let work = |_: usize, x: &u64| -> u64 {
+        let mut acc = *x;
+        for _ in 0..64 {
+            acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+        }
+        acc
+    };
+
+    let mut g = c.benchmark_group("pool_10k_items");
+    g.sample_size(10);
+    g.bench_function("run_indexed_budget1", |b| {
+        let _budget = transit_pool::scoped_budget(1);
+        b.iter(|| black_box(transit_pool::run_indexed(0, &items, work)))
+    });
+    g.bench_function(&format!("run_indexed_budget{cores}"), |b| {
+        let _budget = transit_pool::scoped_budget(cores);
+        b.iter(|| black_box(transit_pool::run_indexed(0, &items, work)))
+    });
+    g.bench_function("fanout_width8_dispatch", |b| {
+        let _budget = transit_pool::scoped_budget(8);
+        b.iter(|| {
+            let acc = std::sync::atomic::AtomicU64::new(0);
+            transit_pool::fanout(8, |slot| {
+                acc.fetch_add(slot as u64 + 1, std::sync::atomic::Ordering::Relaxed);
+            });
+            black_box(acc.into_inner())
+        })
+    });
+    g.bench_function("nested_fanout_budget_split", |b| {
+        let _budget = transit_pool::scoped_budget(cores.max(2));
+        b.iter(|| {
+            let outer: Vec<u64> = transit_pool::run_indexed(0, &[0u64, 1, 2, 3], |_, &seed| {
+                transit_pool::run_indexed(0, &items[..1_000], work)
+                    .into_iter()
+                    .fold(seed, u64::wrapping_add)
+            });
+            black_box(outer)
+        })
+    });
+    g.finish();
+}
+
 criterion_group!(
     kernels,
     dp_series,
@@ -299,6 +351,7 @@ criterion_group!(
     coalesce_kernels,
     tiled_dp,
     ingest_kernels,
-    engine_overhead
+    engine_overhead,
+    pool_kernels
 );
 criterion_main!(kernels);

@@ -31,9 +31,12 @@ use crate::market::TransitMarket;
 static DEFAULT_DP_THREADS: AtomicUsize = AtomicUsize::new(1);
 
 /// Sets the process-wide default number of DP worker threads (clamped to
-/// at least 1). The experiment CLI's `--dp-threads` lands here; it
-/// composes with the sweep engine's item-level `--jobs` (each item's DP
-/// spreads its rows across this many workers).
+/// at least 1). The experiment CLI's `--dp-threads` lands here; since
+/// the pool unification it is a *cap* within the process-wide
+/// [`transit_pool`] budget (effective width =
+/// `min(dp_threads, thread_budget())`), and it composes with the sweep
+/// engine's item-level `--jobs` because nested fanouts split the budget
+/// instead of multiplying threads.
 pub fn set_default_dp_threads(threads: usize) {
     DEFAULT_DP_THREADS.store(threads.max(1), Ordering::Relaxed);
 }
@@ -185,13 +188,14 @@ enum OrderingKey {
 /// Optimal-among-contiguous bundling via dynamic programming over several
 /// flow orderings.
 ///
-/// The table build can spread each DP row across worker threads (row `b`
-/// reads only row `b − 1`, so cells within a row are independent); the
-/// row is cut into fixed-width column tiles and every cell is computed by
-/// exactly one worker with the same arithmetic and tie-breaks as the
-/// serial loop, so the tables are **byte-identical for any thread
-/// count**. A per-instance count of 0 (the default) defers to
-/// [`default_dp_threads`].
+/// The table build can spread each DP row across the shared
+/// [`transit_pool`] workers (row `b` reads only row `b − 1`, so cells
+/// within a row are independent); the row is cut into fixed-width column
+/// tiles and every cell is computed by exactly one worker with the same
+/// arithmetic and tie-breaks as the serial loop, so the tables are
+/// **byte-identical for any thread count or pool budget**. The
+/// per-instance count is a cap within the pool's thread budget; 0 (the
+/// default) defers to [`default_dp_threads`].
 #[derive(Debug, Clone, Copy, Default)]
 pub struct OptimalDp {
     dp_threads: usize,
@@ -252,25 +256,32 @@ struct DpTables {
 }
 
 impl DpTables {
-    /// Largest segment-score memo the build will allocate (entries):
-    /// 2²² × 8 B = 32 MB, reached around n ≈ 2900 flows. Larger
-    /// instances recompute scores in the inner loop instead.
-    const SCORE_MEMO_MAX_ENTRIES: usize = 1 << 22;
-
     /// Column-tile width for the parallel row build. Fixed (never derived
     /// from the thread count) so the tile grid — and with it the work
     /// each cell does — is identical no matter how many workers run.
     const TILE_COLUMNS: usize = 256;
 
     /// Rows narrower than this stay serial: a row must span at least two
-    /// tiles before spawning a scope pays for itself.
+    /// tiles before a pool fan-out pays for itself.
     const PARALLEL_MIN_COLUMNS: usize = 2 * Self::TILE_COLUMNS;
 
-    /// Builds the tables from the order's score-term prefix sums, using
-    /// up to `threads` workers per row.
+    /// Builds the tables from the order's score-term prefix sums and the
+    /// market's cached segment-score memo (if any), spreading each row
+    /// across up to `threads` pool workers.
+    ///
+    /// `run_score(k, j)` is independent of the row, but the inner loop
+    /// visits each (k, j) pair once per row — and the CED score costs a
+    /// `powf` per call. `memo` is the lower triangle of those scores
+    /// (`memo[j·(j−1)/2 + k]`), built once per market in
+    /// [`crate::cache::MarketArtifacts::segment_memo`] and shared
+    /// read-only across every strategy and DP build touching the
+    /// market. Identical results either way: the memo stores the exact
+    /// same f64 the inline call would produce. `None` (market above the
+    /// memo size cap) recomputes scores inline.
     fn build(
         terms: &crate::market::ScoreTerms,
         prefix: &crate::cache::PrefixSums,
+        memo: Option<&[f64]>,
         b_cap: usize,
         threads: usize,
     ) -> DpTables {
@@ -281,34 +292,14 @@ impl DpTables {
         let w = n + 1;
         let run_score =
             |from: usize, to: usize| terms.score(pa[to] - pa[from], pb[to] - pb[from]);
-
-        // `run_score(k, j)` is independent of the row, but the inner loop
-        // visits each (k, j) pair once per row — and the CED score costs
-        // a `powf` per call. Memoizing the lower triangle turns b_cap
-        // transcendental passes into one plus b_cap table lookups.
-        // Identical results: the memo stores the exact same f64 the
-        // inline call would produce. Skipped when one row would use each
-        // pair at most once or the triangle would outgrow the memory cap.
-        let n_pairs = n * (n + 1) / 2;
         let tri = |from: usize, to: usize| to * (to - 1) / 2 + from;
-        let memo: Option<Vec<f64>> = (b_cap > 1 && n_pairs <= Self::SCORE_MEMO_MAX_ENTRIES)
-            .then(|| {
-                let mut m = vec![0.0; n_pairs];
-                for to in 1..=n {
-                    let row = &mut m[tri(0, to)..tri(0, to) + to];
-                    for (from, slot) in row.iter_mut().enumerate() {
-                        *slot = run_score(from, to);
-                    }
-                }
-                m
-            });
 
         // One cell of row `b`: best (value, parent) over split points
         // `k`. Identical arithmetic and first-strict-max tie-break on
         // both the serial and the tiled path — the cell is the unit of
         // work, so tiling cannot perturb it.
         let cell = |b: usize, prev: &[f64], j: usize| -> (f64, usize) {
-            let scores = memo.as_ref().map(|m| &m[tri(0, j)..tri(0, j) + j]);
+            let scores = memo.map(|m| &m[tri(0, j)..tri(0, j) + j]);
             let mut best = f64::NEG_INFINITY;
             let mut par = 0usize;
             for k in (b - 1)..j {
@@ -347,37 +338,29 @@ impl DpTables {
                     par[j] = k;
                 }
             } else {
-                // Cut the row's valid columns into fixed-width tiles and
-                // deal them round-robin to workers. Every cell is written
-                // by exactly one worker, into a disjoint `chunks_mut`
-                // slice, so the row's contents equal the serial loop's
-                // regardless of scheduling.
+                // Cut the row's valid columns into fixed-width tiles;
+                // each tile index is claimed by exactly one pool slot
+                // (a unique `&mut` into a disjoint `chunks_mut` slice),
+                // so the row's contents equal the serial loop's
+                // regardless of scheduling or pool budget. `threads`
+                // caps the fan-out width within the pool's budget; a
+                // width of 1 runs the tiles inline on this thread.
                 // A tile: (first column index, value cells, parent cells).
-                type Tile<'t> = (usize, &'t mut [f64], &'t mut [usize]);
                 let cur_tail = &mut cur[b..=n];
                 let par_tail = &mut par[b..=n];
-                let mut lanes: Vec<Vec<Tile<'_>>> =
-                    (0..threads).map(|_| Vec::new()).collect();
-                for (t, (d, p)) in cur_tail
+                let mut tiles: Vec<(usize, &mut [f64], &mut [usize])> = cur_tail
                     .chunks_mut(Self::TILE_COLUMNS)
                     .zip(par_tail.chunks_mut(Self::TILE_COLUMNS))
                     .enumerate()
-                {
-                    tiles_built += 1;
-                    lanes[t % threads].push((b + t * Self::TILE_COLUMNS, d, p));
-                }
+                    .map(|(t, (d, p))| (b + t * Self::TILE_COLUMNS, d, p))
+                    .collect();
+                tiles_built += tiles.len() as u64;
                 let cell = &cell;
-                std::thread::scope(|s| {
-                    for lane in lanes {
-                        s.spawn(move || {
-                            for (j0, d, p) in lane {
-                                for off in 0..d.len() {
-                                    let (v, k) = cell(b, prev, j0 + off);
-                                    d[off] = v;
-                                    p[off] = k;
-                                }
-                            }
-                        });
+                transit_pool::for_each_mut(threads, &mut tiles, |_, (j0, d, p)| {
+                    for off in 0..d.len() {
+                        let (v, k) = cell(b, prev, *j0 + off);
+                        d[off] = v;
+                        p[off] = k;
                     }
                 });
             }
@@ -467,7 +450,23 @@ impl OptimalDp {
                     }
                     crate::cache::PrefixSums { a: pa, b: pb }
                 });
-                (order, DpTables::build(terms, prefix, b_cap, threads))
+                let memo = artifacts.segment_memo(slot, || {
+                    let n_pairs = n * (n + 1) / 2;
+                    if n_pairs > crate::cache::SEGMENT_MEMO_MAX_ENTRIES {
+                        return None;
+                    }
+                    transit_obs::counter!("cache.segment_memo.builds").inc();
+                    let (pa, pb) = (&prefix.a, &prefix.b);
+                    let mut m = vec![0.0; n_pairs];
+                    for to in 1..=n {
+                        let base = to * (to - 1) / 2;
+                        for (from, cell) in m[base..base + to].iter_mut().enumerate() {
+                            *cell = terms.score(pa[to] - pa[from], pb[to] - pb[from]);
+                        }
+                    }
+                    Some(m)
+                });
+                (order, DpTables::build(terms, prefix, memo, b_cap, threads))
             })
             .collect()
     }
@@ -701,12 +700,32 @@ mod tests {
     #[test]
     fn tiled_dp_is_byte_identical_across_thread_counts() {
         // Wide enough that rows split into several 256-column tiles.
+        // The scoped budget keeps the fan-out real on small machines
+        // (dp_threads is a cap within the pool budget).
+        let _budget = transit_pool::scoped_budget(8);
         let fs = flows(23, 600);
         let m = ced(&fs);
         let baseline = OptimalDp::with_threads(1).bundle_series(&m, 6).unwrap();
         for threads in [2usize, 8] {
             let tiled = OptimalDp::with_threads(threads).bundle_series(&m, 6).unwrap();
             assert_eq!(baseline, tiled, "dp_threads={threads} diverged");
+        }
+    }
+
+    #[test]
+    fn tiled_dp_is_byte_identical_across_pool_budgets() {
+        // Same thread cap, varying pool budget: budget 1 must fall back
+        // to the inline serial path with identical bytes.
+        let fs = flows(29, 600);
+        let m = ced(&fs);
+        let baseline = {
+            let _budget = transit_pool::scoped_budget(1);
+            OptimalDp::with_threads(8).bundle_series(&m, 6).unwrap()
+        };
+        for budget in [2usize, 8] {
+            let _budget = transit_pool::scoped_budget(budget);
+            let run = OptimalDp::with_threads(8).bundle_series(&m, 6).unwrap();
+            assert_eq!(baseline, run, "budget={budget} diverged");
         }
     }
 

@@ -32,6 +32,11 @@ pub const N_ORDER_SLOTS: usize = 4;
 /// dozen distinct markets; this only guards pathological workloads).
 const MAX_ENTRIES: usize = 512;
 
+/// Largest lower-triangle segment-score memo a market entry will cache
+/// (entries): 2²² × 8 B = 32 MB, reached around n ≈ 2900 flows. Larger
+/// markets skip the memo and recompute scores inline.
+pub const SEGMENT_MEMO_MAX_ENTRIES: usize = 1 << 22;
+
 /// A 128-bit fingerprint of a market's fitted primitives.
 ///
 /// Built from two independently-seeded FNV-1a streams over the demand
@@ -96,6 +101,7 @@ pub struct PrefixSums {
 pub struct MarketArtifacts {
     orders: [OnceLock<Vec<usize>>; N_ORDER_SLOTS],
     prefix_sums: [OnceLock<PrefixSums>; N_ORDER_SLOTS],
+    segment_memos: [OnceLock<Option<Vec<f64>>>; N_ORDER_SLOTS],
 }
 
 impl MarketArtifacts {
@@ -111,6 +117,22 @@ impl MarketArtifacts {
     /// purity contract as [`MarketArtifacts::order`].
     pub fn prefix_sums(&self, slot: usize, build: impl FnOnce() -> PrefixSums) -> &PrefixSums {
         self.prefix_sums[slot].get_or_init(build)
+    }
+
+    /// The cached lower-triangle segment-score memo for the order in
+    /// `slot` (`memo[to·(to−1)/2 + from]` = score of the run
+    /// `[from, to)`), or `None` when the market is too large to memoize
+    /// (see [`SEGMENT_MEMO_MAX_ENTRIES`]). Built at most once per
+    /// market and shared read-only across every DP build and strategy
+    /// evaluating it — `OnceLock` serializes concurrent builders, so a
+    /// parallel curves fan-out never computes it twice. Same purity
+    /// contract as [`MarketArtifacts::order`].
+    pub fn segment_memo(
+        &self,
+        slot: usize,
+        build: impl FnOnce() -> Option<Vec<f64>>,
+    ) -> Option<&[f64]> {
+        self.segment_memos[slot].get_or_init(build).as_deref()
     }
 }
 

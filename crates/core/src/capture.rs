@@ -156,6 +156,33 @@ pub fn capture_curve(
     })
 }
 
+/// Evaluates several strategies against one market, fanning the
+/// per-strategy curves out across the shared [`transit_pool`] workers.
+///
+/// Results come back in `strategies` order and each curve is
+/// **bitwise-identical** to a serial [`capture_curve`] call: every task
+/// is pure (strategies and markets are evaluated read-only; the DP's
+/// sort orders, prefix sums, and segment-score memo live behind
+/// `OnceLock`s in the per-market artifact cache, so concurrent tasks
+/// share one copy instead of racing to build their own), and results
+/// merge by submission index. On an error the first failing strategy in
+/// submission order wins, matching the serial loop. Under a thread
+/// budget of 1 this *is* the serial loop — no pool, no atomics.
+pub fn capture_curves(
+    market: &(dyn TransitMarket + Sync),
+    strategies: &[&(dyn BundlingStrategy + Sync)],
+    max_bundles: usize,
+) -> Result<Vec<CaptureCurve>> {
+    let _span = transit_obs::debug_span!(
+        "capture_curves",
+        strategies = strategies.len(),
+        max = max_bundles
+    );
+    transit_pool::run_indexed(0, strategies, |_, s| capture_curve(market, *s, max_bundles))
+        .into_iter()
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -176,7 +203,7 @@ mod tests {
             .collect()
     }
 
-    fn markets() -> Vec<Box<dyn TransitMarket>> {
+    fn markets() -> Vec<Box<dyn TransitMarket + Sync>> {
         let cost = LinearCost::new(0.2).unwrap();
         vec![
             Box::new(
@@ -353,6 +380,37 @@ mod tests {
             out.capture
         );
         assert!((out.capture - (-2.0)).abs() < 1e-12, "capture = {}", out.capture);
+    }
+
+    #[test]
+    fn parallel_curves_are_bitwise_identical_to_serial() {
+        let strategies: Vec<Box<dyn crate::bundling::BundlingStrategy + Send + Sync>> =
+            StrategyKind::ALL.iter().map(|k| k.build()).collect();
+        let refs: Vec<&(dyn crate::bundling::BundlingStrategy + Sync)> =
+            strategies.iter().map(|s| &**s as _).collect();
+        for m in markets() {
+            let serial: Vec<CaptureCurve> = {
+                let _budget = transit_pool::scoped_budget(1);
+                refs.iter()
+                    .map(|s| capture_curve(m.as_ref(), *s, 5).unwrap())
+                    .collect()
+            };
+            for budget in [1usize, 2, 8] {
+                let _budget = transit_pool::scoped_budget(budget);
+                let pooled = capture_curves(m.as_ref(), &refs, 5).unwrap();
+                assert_eq!(pooled.len(), serial.len());
+                for (p, s) in pooled.iter().zip(&serial) {
+                    assert_eq!(p.strategy, s.strategy, "budget {budget}");
+                    assert_eq!(p.n_bundles, s.n_bundles, "budget {budget}");
+                    let pb: Vec<u64> = p.capture.iter().map(|x| x.to_bits()).collect();
+                    let sb: Vec<u64> = s.capture.iter().map(|x| x.to_bits()).collect();
+                    assert_eq!(pb, sb, "budget {budget}: capture bits diverged");
+                    let pp: Vec<u64> = p.profit.iter().map(|x| x.to_bits()).collect();
+                    let sp: Vec<u64> = s.profit.iter().map(|x| x.to_bits()).collect();
+                    assert_eq!(pp, sp, "budget {budget}: profit bits diverged");
+                }
+            }
+        }
     }
 
     #[test]

@@ -78,7 +78,7 @@ pub mod pricing;
 pub mod stats;
 
 pub use bundling::{Bundling, BundlingStrategy, StrategyKind};
-pub use capture::{capture_curve, capture_for_bundling, capture_for_strategy};
+pub use capture::{capture_curve, capture_curves, capture_for_bundling, capture_for_strategy};
 pub use coalesce::CoalescedMarket;
 pub use cost::{CostFamily, CostModel};
 pub use demand::DemandFamily;

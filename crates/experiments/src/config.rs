@@ -22,18 +22,27 @@ pub struct ExperimentConfig {
     pub s0: f64,
     /// Largest bundle count evaluated (paper plots 1–6).
     pub max_bundles: usize,
-    /// Sweep-engine worker threads (`0` = one per available core).
-    /// Results are identical for every value; see `engine`.
+    /// Process-wide thread-pool budget (`--threads`, `0` = all cores).
+    /// The single knob that bounds total core use: every parallel layer
+    /// fans out on the shared `transit_pool` within this budget, and
+    /// nested layers split it rather than multiply threads. Results are
+    /// identical for every value.
+    pub threads: usize,
+    /// Sweep-engine concurrent-item cap (`0` = no cap). Deprecated
+    /// spelling: since the pool unification this is a per-layer cap
+    /// within `threads`, kept for compatibility. Results are identical
+    /// for every value; see `engine`.
     pub jobs: usize,
-    /// Intra-market DP table-build threads (`--dp-threads`, `0` = one per
-    /// available core). Composes with item-level `jobs`; the tiled build
-    /// is byte-identical for every value (see
+    /// Intra-market DP table-build cap (`--dp-threads`, `0` = no cap).
+    /// Deprecated spelling: a per-layer cap within `threads`. Composes
+    /// with item-level `jobs` (nested budget split); the tiled build is
+    /// byte-identical for every value (see
     /// `transit_core::bundling::OptimalDp`).
     pub dp_threads: usize,
-    /// NetFlow collector batch-ingest worker threads
-    /// (`--ingest-workers`, `0` = one per available core, `1` = serial).
-    /// Collector state is identical for every value (see
-    /// `transit_netflow::Collector::ingest_batch`); only the
+    /// NetFlow collector batch-ingest decode cap (`--ingest-workers`,
+    /// `0` = no cap, `1` = serial). Deprecated spelling: a per-layer
+    /// cap within `threads`. Collector state is identical for every
+    /// value (see `transit_netflow::Collector::ingest_batch`); only the
     /// NetFlow-driven runners (fig17) consume it.
     pub ingest_workers: usize,
     /// Observability collection level (`--log-level`). Figure output is
@@ -62,6 +71,7 @@ impl Default for ExperimentConfig {
             theta: 0.2,
             s0: 0.2,
             max_bundles: 6,
+            threads: 0,
             jobs: 0,
             dp_threads: 1,
             ingest_workers: 1,

@@ -3,18 +3,23 @@
 //! Every figure/table runner decomposes into independent work items —
 //! one per (market, strategy, bundle count, parameter point) — that
 //! share no mutable state. [`SweepEngine`] executes such an item list on
-//! a scoped thread pool and returns the results **in item order**, no
-//! matter which worker finished first, so runner output is bit-identical
-//! for any `--jobs` value.
+//! the shared [`transit_pool`] workers and returns the results **in item
+//! order**, no matter which worker finished first, so runner output is
+//! bit-identical for any `--jobs` value or pool budget.
 //!
 //! ## Scheduling
 //!
-//! Workers pull the next item index from a shared atomic counter
-//! (work-stealing degenerate case: chunk size 1). Items are heterogeneous
-//! — a CED market with 400 flows costs far more than a logit one with 80
-//! — so fine-grained pulling beats pre-partitioning. Each worker keeps a
-//! private `(index, result)` list; after the scope joins, results are
-//! merged by index into the original order.
+//! The engine fans out across `min(jobs, thread_budget(), n_items)`
+//! pool slots (`--jobs` is a cap within the process-wide budget; see
+//! `--threads`). Slots pull the next item index from a shared atomic
+//! counter (work-stealing degenerate case: chunk size 1). Items are
+//! heterogeneous — a CED market with 400 flows costs far more than a
+//! logit one with 80 — so fine-grained pulling beats pre-partitioning.
+//! Each slot keeps a private `(index, result)` list; after the fan-out
+//! joins, results are merged by index into the original order. Nested
+//! parallel layers (the tiled DP inside an item) see a child budget of
+//! `budget / width`, so `--jobs 8` with `--dp-threads 8` no longer
+//! oversubscribes an 8-core box with 64 runnable threads.
 //!
 //! ## Determinism contract
 //!
@@ -68,19 +73,21 @@ fn describe_sweep_metrics() {
             transit_core::cache::MISSES_COUNTER,
             "Fingerprint-cache lookups that had to compute the artifact",
         );
+        transit_pool::describe_metrics();
     });
 }
 
-/// A scoped thread pool that maps a closure over a work-item list,
-/// merging results in deterministic item order.
+/// Maps a closure over a work-item list on the shared pool, merging
+/// results in deterministic item order.
 #[derive(Debug, Clone, Copy)]
 pub struct SweepEngine {
     jobs: usize,
 }
 
 impl SweepEngine {
-    /// An engine with `jobs` worker threads; `0` means one per
-    /// available core.
+    /// An engine running at most `jobs` items concurrently (a cap
+    /// within the pool's thread budget); `0` means one per available
+    /// core.
     pub fn new(jobs: usize) -> SweepEngine {
         let jobs = if jobs == 0 {
             std::thread::available_parallelism()
@@ -127,72 +134,67 @@ impl SweepEngine {
             return Vec::new();
         }
         describe_sweep_metrics();
-        let workers = self.jobs.min(n).max(1);
+        let width = transit_pool::effective_width(self.jobs).min(n).max(1);
         let next = AtomicUsize::new(0);
 
-        // Workers flush their spans under the path open on the spawning
+        // Slots flush their spans under the path open on the calling
         // thread, so per-item spans aggregate under the experiment's own
         // node in the tree rather than as detached roots. Under `quiet`
         // spans are inactive, so skip the path bookkeeping entirely.
-        let _sweep_span = transit_obs::span!("sweep.run", items = n, jobs = workers);
+        let _sweep_span = transit_obs::span!("sweep.run", items = n, jobs = width);
         let parent_path =
             transit_obs::level_enabled(transit_obs::Level::Info).then(transit_obs::current_path);
         let parent_path = &parent_path;
 
-        // Each worker accumulates (index, result) privately; merging by
-        // index afterwards restores item order regardless of which
-        // worker ran what.
-        let mut per_worker: Vec<Vec<(usize, (R, Duration))>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..workers)
-                .map(|_| {
-                    scope.spawn(|| {
-                        let _path = parent_path
-                            .as_ref()
-                            .map(|p| transit_obs::inherit_path(p.clone()));
-                        // Declared after `_path` so it drops first: batched
-                        // roots flush while the base path is still pinned.
-                        // One registry lock per worker instead of per item.
-                        let _batch = transit_obs::batch_flushes();
-                        let mut out = Vec::new();
-                        loop {
-                            let i = next.fetch_add(1, Ordering::Relaxed);
-                            if i >= n {
-                                break;
-                            }
-                            let item_span = transit_obs::span!("sweep.item");
-                            let start = Instant::now();
-                            let r = f(i, &items[i]);
-                            let elapsed = start.elapsed();
-                            drop(item_span);
-                            transit_obs::histogram!("sweep.item_micros")
-                                .record(elapsed.as_micros().min(u128::from(u64::MAX)) as u64);
-                            transit_obs::counter!("sweep.items.completed").inc();
-                            if transit_obs::journal::is_enabled() {
-                                transit_obs::journal::counter_sample(
-                                    "sweep.items.completed",
-                                    transit_obs::counter!("sweep.items.completed").get(),
-                                );
-                                transit_obs::journal::counter_sample(
-                                    transit_core::cache::HITS_COUNTER,
-                                    transit_obs::counter!(transit_core::cache::HITS_COUNTER).get(),
-                                );
-                            }
-                            out.push((i, (r, elapsed)));
-                        }
-                        transit_obs::counter!("sweep.queue.drains").inc();
-                        out
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("sweep worker panicked"))
-                .collect()
+        // Each fan-out slot accumulates (index, result) privately (a
+        // slot executes at most once, so its bucket lock is never
+        // contended); merging by index afterwards restores item order
+        // regardless of which slot ran what. Panics in items propagate
+        // out of the fan-out after every slot has finished.
+        type Bucket<R> = std::sync::Mutex<Vec<(usize, (R, Duration))>>;
+        let buckets: Vec<Bucket<R>> =
+            (0..width).map(|_| std::sync::Mutex::new(Vec::new())).collect();
+        let f = &f;
+        transit_pool::fanout(width, |slot| {
+            let _path = parent_path
+                .as_ref()
+                .map(|p| transit_obs::inherit_path(p.clone()));
+            // Declared after `_path` so it drops first: batched roots
+            // flush while the base path is still pinned. One registry
+            // lock per slot instead of per item.
+            let _batch = transit_obs::batch_flushes();
+            let mut out = buckets[slot].lock().expect("sweep bucket poisoned");
+            loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item_span = transit_obs::span!("sweep.item");
+                let start = Instant::now();
+                let r = f(i, &items[i]);
+                let elapsed = start.elapsed();
+                drop(item_span);
+                transit_obs::histogram!("sweep.item_micros")
+                    .record(elapsed.as_micros().min(u128::from(u64::MAX)) as u64);
+                transit_obs::counter!("sweep.items.completed").inc();
+                if transit_obs::journal::is_enabled() {
+                    transit_obs::journal::counter_sample(
+                        "sweep.items.completed",
+                        transit_obs::counter!("sweep.items.completed").get(),
+                    );
+                    transit_obs::journal::counter_sample(
+                        transit_core::cache::HITS_COUNTER,
+                        transit_obs::counter!(transit_core::cache::HITS_COUNTER).get(),
+                    );
+                }
+                out.push((i, (r, elapsed)));
+            }
+            transit_obs::counter!("sweep.queue.drains").inc();
         });
 
         let mut slots: Vec<Option<(R, Duration)>> = (0..n).map(|_| None).collect();
-        for bucket in per_worker.iter_mut() {
-            for (i, r) in bucket.drain(..) {
+        for bucket in buckets {
+            for (i, r) in bucket.into_inner().expect("sweep bucket poisoned") {
                 slots[i] = Some(r);
             }
         }
@@ -232,12 +234,26 @@ mod tests {
 
     #[test]
     fn results_are_in_item_order_for_any_thread_count() {
+        // Budget of 8 keeps the fan-out real on small machines (`jobs`
+        // is a cap within the pool budget).
+        let _budget = transit_pool::scoped_budget(8);
         let items: Vec<u64> = (0..97).collect();
         let expected: Vec<u64> = items.iter().map(|&x| x * x).collect();
         for jobs in [1, 2, 3, 8, 64] {
             let engine = SweepEngine::new(jobs);
             let got = engine.run(&items, |_, &x| x * x);
             assert_eq!(got, expected, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn results_are_identical_across_pool_budgets() {
+        let items: Vec<u64> = (0..61).collect();
+        let expected: Vec<u64> = items.iter().map(|&x| x * 7 + 3).collect();
+        for budget in [1, 2, 8] {
+            let _budget = transit_pool::scoped_budget(budget);
+            let got = SweepEngine::new(8).run(&items, |_, &x| x * 7 + 3);
+            assert_eq!(got, expected, "budget={budget}");
         }
     }
 

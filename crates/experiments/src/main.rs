@@ -6,8 +6,12 @@ use transit_experiments::{run, ExperimentConfig, ALL_IDS, EXTENSION_IDS, SENSITI
 
 fn usage() -> String {
     format!(
-        "usage: transit-experiments <experiment|all|full|ext> [--json] [--chart] [--quick] [--flows N] [--seed S] [--jobs N] [--dp-threads N] [--ingest-workers N] [--out DIR]\n\
+        "usage: transit-experiments <experiment|all|full|ext> [--json] [--chart] [--quick] [--flows N] [--seed S] [--threads N] [--out DIR]\n\
          \x20                          [--only ID] [--profile DIR] [--serve-metrics ADDR] [--log-level quiet|info|debug]\n\
+         \x20                          [--jobs N] [--dp-threads N] [--ingest-workers N]\n\
+         \x20  --threads N: process-wide thread-pool budget (0 = all cores); the one knob for total core use.\n\
+         \x20  --jobs/--dp-threads/--ingest-workers are deprecated: now per-layer caps within --threads (0 = no cap);\n\
+         \x20  results are identical for every combination.\n\
          experiments: {} {} {}",
         ALL_IDS.join(" "),
         SENSITIVITY_IDS.join(" "),
@@ -46,24 +50,31 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--threads" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => config.threads = n,
+                None => {
+                    eprintln!("--threads needs a number (0 = all cores)\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
             "--jobs" => match it.next().and_then(|v| v.parse().ok()) {
                 Some(n) => config.jobs = n,
                 None => {
-                    eprintln!("--jobs needs a number (0 = all cores)\n{}", usage());
+                    eprintln!("--jobs needs a number (0 = no cap; deprecated, see --threads)\n{}", usage());
                     return ExitCode::FAILURE;
                 }
             },
             "--dp-threads" => match it.next().and_then(|v| v.parse().ok()) {
                 Some(n) => config.dp_threads = n,
                 None => {
-                    eprintln!("--dp-threads needs a number (0 = all cores)\n{}", usage());
+                    eprintln!("--dp-threads needs a number (0 = no cap; deprecated, see --threads)\n{}", usage());
                     return ExitCode::FAILURE;
                 }
             },
             "--ingest-workers" => match it.next().and_then(|v| v.parse().ok()) {
                 Some(n) => config.ingest_workers = n,
                 None => {
-                    eprintln!("--ingest-workers needs a number (0 = all cores)\n{}", usage());
+                    eprintln!("--ingest-workers needs a number (0 = no cap; deprecated, see --threads)\n{}", usage());
                     return ExitCode::FAILURE;
                 }
             },

@@ -35,6 +35,16 @@ pub fn run(id: &str, config: &ExperimentConfig) -> Result<Option<ExperimentResul
     transit_obs::journal::phase(id);
     let _span = transit_obs::span!("experiment", id = id);
     transit_obs::counter!("experiments.runs").inc();
+    // `--threads` sets the process-wide pool budget (0 = all cores,
+    // the pool's own default — only a nonzero request needs a store,
+    // which keeps library callers from clobbering each other's scoped
+    // test budgets with redundant writes).
+    if config.threads != 0 {
+        transit_pool::set_thread_budget(config.threads);
+    }
+    // `--dp-threads` is a per-layer cap within that budget (0 = no
+    // cap); the legacy "0 = all cores" spelling resolves to the same
+    // width because the pool clamps at the budget anyway.
     let dp_threads = if config.dp_threads == 0 {
         std::thread::available_parallelism()
             .map(std::num::NonZeroUsize::get)

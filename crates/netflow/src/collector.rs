@@ -84,6 +84,9 @@ fn describe_collector_metrics() {
 /// fold worker: `(flow hash, key, router, bytes, packets)`.
 type RecordTuple = (u64, FlowKey, u8, u64, u64);
 
+/// Sender half of one fold worker's bounded tuple channel.
+type FoldSender = std::sync::mpsc::SyncSender<Vec<RecordTuple>>;
+
 /// Tuples per channel message from a decode worker to a fold worker.
 /// Bounds per-message memory and amortizes channel synchronization.
 const FOLD_BATCH_TUPLES: usize = 1024;
@@ -290,7 +293,14 @@ impl Collector {
     /// pipelined behind it (see the module docs); the resulting state,
     /// stats, and journal samples are identical to the serial loop.
     pub fn ingest_batch<D: AsRef<[u8]> + Sync>(&mut self, datagrams: &[D]) -> usize {
-        let workers = self.workers.min(datagrams.len()).max(1);
+        // `self.workers` is a cap within the process-wide pool budget
+        // (`--ingest-workers` within `--threads`); a budget of 1 takes
+        // the serial path outright.
+        let workers = self
+            .workers
+            .min(transit_pool::thread_budget())
+            .min(datagrams.len())
+            .max(1);
         let ingested = if workers <= 1 {
             self.ingest_batch_serial(datagrams)
         } else {
@@ -311,13 +321,21 @@ impl Collector {
         ingested
     }
 
-    /// The parallel pipeline: `workers` decode threads stream record
-    /// tuples through bounded channels to `min(workers, shards)` fold
-    /// threads, each owning the shards congruent to its index. Decode
-    /// workers write per-datagram summaries into disjoint slices; the
-    /// serial pass afterwards replays them in arrival order so the
-    /// order-sensitive accounting (and its journal samples) is exactly
-    /// the serial path's.
+    /// The parallel pipeline: decode chunks fan out across the shared
+    /// [`transit_pool`] workers and stream record tuples through
+    /// bounded channels to `min(workers, shards)` fold threads, each
+    /// owning the shards congruent to its index. Decode tasks write
+    /// per-datagram summaries into disjoint slices; the serial pass
+    /// afterwards replays them in arrival order so the order-sensitive
+    /// accounting (and its journal samples) is exactly the serial
+    /// path's.
+    ///
+    /// The fold threads stay **dedicated scoped threads**, not pool
+    /// tasks: they block on `recv` until every decode sender hangs up,
+    /// and a pool whose workers can block on each other's unscheduled
+    /// tasks could deadlock. Decode tasks may briefly block on a full
+    /// channel (stalling one pool worker), but the dedicated folds
+    /// always drain, so the fan-out always completes.
     fn ingest_batch_parallel<D: AsRef<[u8]> + Sync>(
         &mut self,
         datagrams: &[D],
@@ -345,6 +363,27 @@ impl Collector {
             fold_tables[idx % n_fold].push(table);
         }
 
+        // One decode work item per chunk: (datagrams, summary slots,
+        // own sender set). Each item is claimed by exactly one pool
+        // slot, mirroring the per-thread chunking the dedicated decode
+        // threads used to get — same chunk boundaries, same disjoint
+        // summary slices, for any pool budget.
+        let chunk = datagrams.len().div_ceil(workers);
+        let mut work: Vec<(&[D], &mut [DatagramSummary], Vec<FoldSender>)> = Vec::new();
+        {
+            let mut rest: &mut [DatagramSummary] = &mut summaries;
+            for w in 0..workers {
+                let lo = w * chunk;
+                if lo >= datagrams.len() {
+                    break;
+                }
+                let hi = (lo + chunk).min(datagrams.len());
+                let (head, tail) = rest.split_at_mut(hi - lo);
+                rest = tail;
+                work.push((&datagrams[lo..hi], head, txs.clone()));
+            }
+        }
+
         std::thread::scope(|scope| {
             for (rx, mut tables) in rxs.into_iter().zip(fold_tables) {
                 scope.spawn(move || {
@@ -356,22 +395,14 @@ impl Collector {
                     }
                 });
             }
-            let chunk = datagrams.len().div_ceil(workers);
-            let mut rest: &mut [DatagramSummary] = &mut summaries;
-            for w in 0..workers {
-                let lo = w * chunk;
-                if lo >= datagrams.len() {
-                    break;
-                }
-                let hi = (lo + chunk).min(datagrams.len());
-                let (head, tail) = rest.split_at_mut(hi - lo);
-                rest = tail;
-                let dgrams = &datagrams[lo..hi];
-                let txs = txs.clone();
-                scope.spawn(move || decode_chunk(dgrams, head, &txs, n_shards, n_fold));
-            }
-            // Fold workers exit once every sender (the spawned clones
-            // and this original set) has hung up.
+            transit_pool::for_each_mut(workers, &mut work, |_, (dgrams, head, txs)| {
+                decode_chunk(dgrams, head, txs, n_shards, n_fold);
+                // Hang up this item's senders as soon as its chunk is
+                // done; folds exit once every item's (and the
+                // original) set is gone.
+                txs.clear();
+            });
+            drop(work);
             drop(txs);
         });
 
@@ -743,6 +774,9 @@ mod tests {
 
     #[test]
     fn parallel_batch_matches_serial_for_any_worker_count() {
+        // Keep the fan-out real on small machines: worker counts are
+        // caps within the pool budget.
+        let _budget = transit_pool::scoped_budget(8);
         let batch = wire_batch(300);
         let mut serial = Collector::new();
         for d in &batch {
@@ -783,6 +817,7 @@ mod tests {
         for d in &batch {
             let _ = serial.ingest(d);
         }
+        let _budget = transit_pool::scoped_budget(8);
         let mut parallel = Collector::with_shards_and_workers(4, 4);
         parallel.ingest_batch(&batch);
         assert_eq!(parallel.stats(), serial.stats());
@@ -793,6 +828,7 @@ mod tests {
 
     #[test]
     fn empty_and_tiny_batches_are_safe_with_workers() {
+        let _budget = transit_pool::scoped_budget(8);
         let mut c = Collector::with_shards_and_workers(4, 8);
         let empty: Vec<Vec<u8>> = Vec::new();
         assert_eq!(c.ingest_batch(&empty), 0);

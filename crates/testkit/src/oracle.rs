@@ -6,9 +6,15 @@
 //! | `CoalescedMarket` (ε = 0, duplicate-free) | raw market | bitwise |
 //! | `CoalescedMarket` delegation (any ε) | `expand` + raw market | bitwise |
 //! | `CoalescedMarket` (ε > 0, CED) | `OptimalExhaustive` on raw | `π_raw − π_ε ≤ 2·D_exact ≤ 2·D(ε)` |
-//! | `OptimalDp` tiled (`dp_threads ∈ {2, 8}`) | `dp_threads = 1` | bitwise |
+//! | `OptimalDp` tiled (`dp_threads ∈ {2, 8}` × pool budgets `{1, 2, 8}`) | `dp_threads = 1` | bitwise |
 //! | `bundle_series` (every strategy) | per-point `bundle` loop | bitwise |
-//! | sharded + parallel `ingest_batch` (shards `{1, 4, 16}` × workers `{1, 2, 8}`) | serial `ingest` | exact state, counter, and registry-delta equality |
+//! | pooled `capture_curves` (budgets `{1, 2, 8}`) | per-strategy `capture_curve` loop | bitwise |
+//! | sharded + parallel `ingest_batch` (shards `{1, 4, 16}` × workers `{1, 2, 8}` × pool budgets `{1, 2, 8}`) | serial `ingest` | exact state, counter, and registry-delta equality |
+//!
+//! Parallel fast paths run on the process-wide [`transit_pool`]; the
+//! oracles pin each one under explicit pool budgets (`scoped_budget`) so
+//! budget 1 exercises the inline serial fallback and budget 8 exercises
+//! real cross-thread scheduling even on small CI machines.
 //!
 //! Every oracle is *total*: malformed scenarios (the shrinker produces
 //! plenty) come back as [`Verdict::Skip`], never a panic, so a shrink
@@ -17,9 +23,10 @@
 use std::net::Ipv4Addr;
 
 use transit_core::bundling::{
-    BundlingStrategy, ClassAware, DemandMassDivision, NaturalBreaks, OptimalDp,
-    OptimalExhaustive, StrategyKind, WeightKind,
+    BundlingStrategy, ClassAware, DemandMassDivision, NaturalBreaks, OptimalDp, OptimalExhaustive,
+    StrategyKind, WeightKind,
 };
+use transit_core::capture::{capture_curve, capture_curves};
 use transit_core::coalesce::CoalescedMarket;
 use transit_core::cost::LinearCost;
 use transit_core::demand::ced::CedAlpha;
@@ -145,10 +152,10 @@ fn build_market(demand: DemandSpec, alpha: f64, flows: &[TrafficFlow]) -> Built 
 
 /// Every strategy under differential test, sized for a market with
 /// `n_flows` flows (the class-aware wrapper needs per-flow labels).
-fn strategy_suite(n_flows: usize) -> Vec<Box<dyn BundlingStrategy>> {
-    let mut strategies: Vec<Box<dyn BundlingStrategy>> = StrategyKind::ALL
+fn strategy_suite(n_flows: usize) -> Vec<Box<dyn BundlingStrategy + Sync>> {
+    let mut strategies: Vec<Box<dyn BundlingStrategy + Sync>> = StrategyKind::ALL
         .iter()
-        .map(|&kind| kind.build() as Box<dyn BundlingStrategy>)
+        .map(|&kind| kind.build() as Box<dyn BundlingStrategy + Sync>)
         .collect();
     strategies.push(Box::new(ClassAware::new(
         WeightKind::PotentialProfit,
@@ -237,8 +244,8 @@ pub fn epsilon_deviation_bounds<M: TransitMarket>(
         let rep = members[0] as usize;
         for &m in members {
             let i = m as usize;
-            d_exact += g_a * (terms.a[i] - terms.a[rep]).abs()
-                + g_c * (terms.b[i] - terms.b[rep]).abs();
+            d_exact +=
+                g_a * (terms.a[i] - terms.a[rep]).abs() + g_c * (terms.b[i] - terms.b[rep]).abs();
         }
     }
 
@@ -363,11 +370,14 @@ fn coalesce_checks<M: TransitMarket>(
                 .bundle_prices(&expanded)
                 .map_err(|e| div(F, format!("{}: raw prices failed: {e:?}", strategy.name())))?;
             let same = prices_cm.len() == prices_raw.len()
-                && prices_cm.iter().zip(&prices_raw).all(|(a, b)| match (a, b) {
-                    (Some(x), Some(y)) => x.to_bits() == y.to_bits(),
-                    (None, None) => true,
-                    _ => false,
-                });
+                && prices_cm
+                    .iter()
+                    .zip(&prices_raw)
+                    .all(|(a, b)| match (a, b) {
+                        (Some(x), Some(y)) => x.to_bits() == y.to_bits(),
+                        (None, None) => true,
+                        _ => false,
+                    });
             if !same {
                 return Err(div(
                     F,
@@ -474,30 +484,42 @@ fn check_tiled_dp(pairs: &[(f64, f64)], max_bundles: usize) -> Result<Verdict, D
     let serial = OptimalDp::with_threads(1)
         .bundle_series(&market, max_bundles)
         .map_err(|e| div(F, format!("serial DP failed: {e:?}")))?;
-    for threads in [2usize, 8] {
-        let tiled = OptimalDp::with_threads(threads)
-            .bundle_series(&market, max_bundles)
-            .map_err(|e| div(F, format!("dp_threads={threads} failed: {e:?}")))?;
-        if tiled.len() != serial.len() {
-            return Err(div(
-                F,
-                format!(
-                    "dp_threads={threads}: series length {} vs serial {}",
-                    tiled.len(),
-                    serial.len()
-                ),
-            ));
-        }
-        for (idx, (t, s)) in tiled.iter().zip(&serial).enumerate() {
-            if t.assignment() != s.assignment() || t.n_bundles() != s.n_bundles() {
+    // Pool budgets {1, 2, 8}: `dp_threads` is a cap within the budget,
+    // so budget 1 forces the inline fallback (a tiled request still
+    // answers serially) and budget 8 schedules real tile tasks even on
+    // a small machine.
+    for budget in [1usize, 2, 8] {
+        let _budget = transit_pool::scoped_budget(budget);
+        for threads in [2usize, 8] {
+            let tiled = OptimalDp::with_threads(threads)
+                .bundle_series(&market, max_bundles)
+                .map_err(|e| {
+                    div(
+                        F,
+                        format!("dp_threads={threads} budget={budget} failed: {e:?}"),
+                    )
+                })?;
+            if tiled.len() != serial.len() {
                 return Err(div(
                     F,
                     format!(
-                        "dp_threads={threads} diverges from serial at b={} (n={})",
-                        idx + 1,
-                        pairs.len()
+                        "dp_threads={threads} budget={budget}: series length {} vs serial {}",
+                        tiled.len(),
+                        serial.len()
                     ),
                 ));
+            }
+            for (idx, (t, s)) in tiled.iter().zip(&serial).enumerate() {
+                if t.assignment() != s.assignment() || t.n_bundles() != s.n_bundles() {
+                    return Err(div(
+                        F,
+                        format!(
+                            "dp_threads={threads} budget={budget} diverges from serial at b={} (n={})",
+                            idx + 1,
+                            pairs.len()
+                        ),
+                    ));
+                }
             }
         }
     }
@@ -515,7 +537,8 @@ fn check_series(spec: &MarketSpec) -> Result<Verdict, Divergence> {
     }
     let max_bundles = spec.max_bundles.clamp(1, 12);
     let flows = traffic_flows(&spec.flows);
-    let market: Box<dyn TransitMarket> = match build_market(spec.demand, spec.alpha, &flows) {
+    let market: Box<dyn TransitMarket + Sync> = match build_market(spec.demand, spec.alpha, &flows)
+    {
         Built::Skip(why) => return Ok(Verdict::Skip(why)),
         Built::Ced(m) => Box::new(m),
         Built::Logit(m) => Box::new(m),
@@ -552,6 +575,65 @@ fn check_series(spec: &MarketSpec) -> Result<Verdict, Divergence> {
                     format!(
                         "{}: one-pass series diverges from per-point at b={b} ({} {} flows)",
                         strategy.name(),
+                        spec.demand.name(),
+                        flows.len()
+                    ),
+                ));
+            }
+        }
+    }
+
+    // Pooled curves phase: `capture_curves` fans the per-strategy loop
+    // out on the pool; at every budget it must be bitwise equal to the
+    // serial loop (tasks are pure; results merge by submission index,
+    // so worker scheduling cannot reorder or perturb them).
+    let curve_suite = strategy_suite(flows.len());
+    let refs: Vec<&(dyn BundlingStrategy + Sync)> = curve_suite.iter().map(AsRef::as_ref).collect();
+    let serial: Vec<_> = match refs
+        .iter()
+        .map(|s| capture_curve(market.as_ref(), *s, max_bundles))
+        .collect::<Result<Vec<_>, _>>()
+    {
+        Ok(v) => v,
+        // A curve can be legitimately infeasible (degenerate headroom);
+        // the series assertions above already held, so the scenario
+        // still passes — there is just no curve pair to compare.
+        Err(_) => return Ok(Verdict::Pass),
+    };
+    for budget in [1usize, 2, 8] {
+        let _budget = transit_pool::scoped_budget(budget);
+        let pooled = capture_curves(market.as_ref(), &refs, max_bundles)
+            .map_err(|e| div(F, format!("pooled curves failed at budget {budget}: {e:?}")))?;
+        if pooled.len() != serial.len() {
+            return Err(div(
+                F,
+                format!(
+                    "budget {budget}: pooled curve count {} vs serial {}",
+                    pooled.len(),
+                    serial.len()
+                ),
+            ));
+        }
+        for (p, s) in pooled.iter().zip(&serial) {
+            let same = p.strategy == s.strategy
+                && p.n_bundles == s.n_bundles
+                && p.capture.len() == s.capture.len()
+                && p.profit.len() == s.profit.len()
+                && p.capture
+                    .iter()
+                    .zip(&s.capture)
+                    .all(|(a, b)| a.to_bits() == b.to_bits())
+                && p.profit
+                    .iter()
+                    .zip(&s.profit)
+                    .all(|(a, b)| a.to_bits() == b.to_bits());
+            if !same {
+                return Err(div(
+                    F,
+                    format!(
+                        "budget {budget}: pooled capture_curves diverges from the \
+                         serial loop for {} ({} {} flows)",
+                        p.strategy,
                         spec.demand.name(),
                         flows.len()
                     ),
@@ -674,80 +756,93 @@ fn check_ingest(s: &IngestScenario) -> Result<Verdict, Divergence> {
     let expected = observe(&reference, s.n_routers);
     let expected_delta = CollectorStats::snapshot().delta_since(&before);
 
-    for shards in [1usize, 4, 16] {
-        for workers in [1usize, 2, 8] {
-            let before = CollectorStats::snapshot();
-            let mut collector = Collector::with_shards_and_workers(shards, workers);
-            collector.ingest_batch(&stream);
-            let got = observe(&collector, s.n_routers);
-            let delta = CollectorStats::snapshot().delta_since(&before);
-            let combo = format!("shards={shards} workers={workers}");
-            if got != expected {
-                return Err(div(
-                    F,
-                    format!(
-                        "{combo}: batch ingest diverges from serial reference \
+    // Pool budgets {1, 2, 8}: the decode fan-out clamps its workers at
+    // the budget, so budget 1 pins the serial fallback even when 8
+    // workers are requested, and budget 8 schedules real decode tasks
+    // on any machine. The full shard × worker grid runs at budget 8
+    // (the historical coverage, now with guaranteed parallelism); the
+    // lower budgets re-run the widest request per shard count.
+    for budget in [1usize, 2, 8] {
+        let _budget = transit_pool::scoped_budget(budget);
+        let worker_grid: &[usize] = if budget == 8 { &[1, 2, 8] } else { &[8] };
+        for shards in [1usize, 4, 16] {
+            for &workers in worker_grid {
+                let before = CollectorStats::snapshot();
+                let mut collector = Collector::with_shards_and_workers(shards, workers);
+                collector.ingest_batch(&stream);
+                let got = observe(&collector, s.n_routers);
+                let delta = CollectorStats::snapshot().delta_since(&before);
+                let combo = format!("shards={shards} workers={workers} budget={budget}");
+                if got != expected {
+                    return Err(div(
+                        F,
+                        format!(
+                            "{combo}: batch ingest diverges from serial reference \
                          (stats {:?} vs {:?}, lost {} vs {}, flows {} vs {})",
-                        got.stats,
-                        expected.stats,
-                        got.lost_total,
-                        expected.lost_total,
-                        got.flow_count,
-                        expected.flow_count
-                    ),
-                ));
-            }
-            // Registry deltas: the batch path must move the process-wide
-            // counters exactly as serial ingest did, and route every
-            // record through the sharded counter.
-            if (delta.datagrams, delta.records, delta.decode_errors, delta.lost_records)
-                != (
+                            got.stats,
+                            expected.stats,
+                            got.lost_total,
+                            expected.lost_total,
+                            got.flow_count,
+                            expected.flow_count
+                        ),
+                    ));
+                }
+                // Registry deltas: the batch path must move the process-wide
+                // counters exactly as serial ingest did, and route every
+                // record through the sharded counter.
+                if (
+                    delta.datagrams,
+                    delta.records,
+                    delta.decode_errors,
+                    delta.lost_records,
+                ) != (
                     expected_delta.datagrams,
                     expected_delta.records,
                     expected_delta.decode_errors,
                     expected_delta.lost_records,
-                )
-            {
-                return Err(div(
-                    F,
-                    format!(
-                        "{combo}: registry delta {delta:?} diverges from serial \
+                ) {
+                    return Err(div(
+                        F,
+                        format!(
+                            "{combo}: registry delta {delta:?} diverges from serial \
                          reference delta {expected_delta:?}"
-                    ),
-                ));
-            }
-            if delta.sharded_records != delta.records {
-                return Err(div(
-                    F,
-                    format!(
-                        "{combo}: sharded_records delta {} != records delta {}",
-                        delta.sharded_records, delta.records
-                    ),
-                ));
-            }
-            // Accounting consistency: every datagram is either counted or
-            // a decode error, and every stored flow lives in exactly one
-            // shard.
-            let (datagrams, _records, decode_errors) = got.stats;
-            if datagrams + decode_errors != stream.len() as u64 {
-                return Err(div(
-                    F,
-                    format!(
-                        "{combo}: datagrams {datagrams} + decode_errors {decode_errors} \
+                        ),
+                    ));
+                }
+                if delta.sharded_records != delta.records {
+                    return Err(div(
+                        F,
+                        format!(
+                            "{combo}: sharded_records delta {} != records delta {}",
+                            delta.sharded_records, delta.records
+                        ),
+                    ));
+                }
+                // Accounting consistency: every datagram is either counted or
+                // a decode error, and every stored flow lives in exactly one
+                // shard.
+                let (datagrams, _records, decode_errors) = got.stats;
+                if datagrams + decode_errors != stream.len() as u64 {
+                    return Err(div(
+                        F,
+                        format!(
+                            "{combo}: datagrams {datagrams} + decode_errors {decode_errors} \
                          != stream length {}",
-                        stream.len()
-                    ),
-                ));
-            }
-            let occupancy: usize = collector.shard_occupancy().iter().sum();
-            if occupancy != got.flow_count {
-                return Err(div(
-                    F,
-                    format!(
-                        "{combo}: shard occupancy {occupancy} != flow count {}",
-                        got.flow_count
-                    ),
-                ));
+                            stream.len()
+                        ),
+                    ));
+                }
+                let occupancy: usize = collector.shard_occupancy().iter().sum();
+                if occupancy != got.flow_count {
+                    return Err(div(
+                        F,
+                        format!(
+                            "{combo}: shard occupancy {occupancy} != flow count {}",
+                            got.flow_count
+                        ),
+                    ));
+                }
             }
         }
     }

@@ -13,6 +13,7 @@
 //! * [`market`] — welfare, worked examples, direct-peering economics.
 //! * [`experiments`] — per-figure/table experiment runners.
 //! * [`obs`] — structured spans, metrics registry, run manifests.
+//! * [`pool`] — process-wide work-stealing thread pool and core budget.
 
 #![forbid(unsafe_code)]
 
@@ -23,5 +24,6 @@ pub use transit_geo as geo;
 pub use transit_market as market;
 pub use transit_netflow as netflow;
 pub use transit_obs as obs;
+pub use transit_pool as pool;
 pub use transit_routing as routing;
 pub use transit_topology as topology;

@@ -10,7 +10,7 @@ use std::sync::Mutex;
 
 use serde_json::Value;
 use tiered_transit::experiments::{profile, runners, ExperimentConfig, ItemTiming};
-use tiered_transit::obs;
+use tiered_transit::{obs, pool};
 
 static LEVEL_LOCK: Mutex<()> = Mutex::new(());
 
@@ -51,6 +51,10 @@ fn profiled_and_quiet_runs_emit_identical_figure_json() {
 #[test]
 fn profiled_fig8_manifest_has_spans_counters_and_timings() {
     let _guard = LEVEL_LOCK.lock().unwrap();
+    // The sweep span reports the *effective* width — `jobs = 2` only
+    // materializes when the pool budget allows 2 threads, so pin the
+    // budget to make the span name deterministic on any box size.
+    let _budget = pool::scoped_budget(2);
     let (_, timings) = run_fig8(obs::Level::Info);
     obs::set_log_level(obs::Level::Info);
     assert!(!timings.is_empty(), "fig8 must report item timings");
