@@ -210,6 +210,7 @@ mod tests {
             obs_overhead_pct: 1.0,
             million_flow_sec: BTreeMap::from([("total".to_string(), 10.0)]),
             ingest_throughput: BTreeMap::new(),
+            store_sec: BTreeMap::new(),
         }
     }
 

@@ -284,7 +284,12 @@ fn main() {
     // 3. Sidecars + journal finalization (write_profile flushes and
     //    exports trace.json), then artifact validation.
     let cfg = quick_config(0, transit_obs::Level::Info);
-    transit_experiments::profile::write_profile(dir, &cfg, &[("fig8".to_string(), Vec::new())])
+    let records = vec![transit_experiments::profile::RunRecord {
+        id: "fig8".to_string(),
+        timings: Vec::new(),
+        stages: Vec::new(),
+    }];
+    transit_experiments::profile::write_profile(dir, &cfg, &records)
         .expect("profile sidecars write");
     transit_obs::journal::disable();
     let failures = validate_artifacts(dir);
@@ -329,6 +334,7 @@ fn main() {
         obs_overhead_pct: overhead_pct,
         million_flow_sec: std::collections::BTreeMap::new(),
         ingest_throughput: std::collections::BTreeMap::new(),
+        store_sec: std::collections::BTreeMap::new(),
     };
     transit_bench::history::append(Path::new(&history_path), &entry)
         .expect("history ledger appends");

@@ -552,6 +552,7 @@ impl Report {
             .into_iter()
             .map(|(k, v)| (k.to_string(), v))
             .collect(),
+            store_sec: std::collections::BTreeMap::new(),
         }
     }
 

@@ -51,6 +51,10 @@ pub struct HistoryEntry {
     /// `records_per_sec`), when the run measured it. Absent in ledger
     /// lines written before the ingest fast path; parsed as empty.
     pub ingest_throughput: BTreeMap<String, f64>,
+    /// Artifact-store smoke timings (`cold_sec`, `warm_sec`,
+    /// `speedup_warm`), when the run measured them. Absent in ledger
+    /// lines written before the stage store existed; parsed as empty.
+    pub store_sec: BTreeMap<String, f64>,
 }
 
 impl HistoryEntry {
@@ -113,6 +117,15 @@ impl HistoryEntry {
                         .collect(),
                 ),
             ),
+            (
+                "store_sec".into(),
+                serde::Content::Map(
+                    self.store_sec
+                        .iter()
+                        .map(|(k, &v)| (k.clone(), serde::Content::F64(v)))
+                        .collect(),
+                ),
+            ),
         ])
     }
 
@@ -157,6 +170,7 @@ impl HistoryEntry {
         };
         let million_flow_sec = num_map("million_flow_sec");
         let ingest_throughput = num_map("ingest_throughput");
+        let store_sec = num_map("store_sec");
         Ok(HistoryEntry {
             recorded_unix: num("recorded_unix")? as u64,
             source: v
@@ -178,6 +192,7 @@ impl HistoryEntry {
             obs_overhead_pct: num("obs_overhead_pct")?,
             million_flow_sec,
             ingest_throughput,
+            store_sec,
         })
     }
 }
@@ -234,6 +249,7 @@ mod tests {
             ingest_throughput: [("records_per_sec".to_string(), 250_000.0)]
                 .into_iter()
                 .collect(),
+            store_sec: BTreeMap::new(),
         }
     }
 

@@ -59,6 +59,12 @@ pub enum TransitError {
         /// The computed (rejected) cost scale gamma.
         gamma: f64,
     },
+    /// A pipeline stage, artifact codec, or artifact-store operation
+    /// failed (see `transit-stage`).
+    Stage {
+        /// Human-readable failure description.
+        message: String,
+    },
 }
 
 impl fmt::Display for TransitError {
@@ -89,6 +95,7 @@ impl fmt::Display for TransitError {
                 "calibration produced non-positive cost scale gamma={gamma}; \
                  the blended rate does not cover the implied optimal markup"
             ),
+            TransitError::Stage { message } => write!(f, "{message}"),
         }
     }
 }

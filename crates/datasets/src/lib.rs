@@ -28,9 +28,12 @@ pub mod io;
 pub mod pipeline;
 pub mod pricelists;
 pub mod spec;
+pub mod stages;
 
 pub use generator::{generate, generate_replicated, Dataset};
 pub use io::{read_flows_csv, write_flows_csv, CsvError};
-pub use pipeline::{run_pipeline, PipelineConfig, PipelineOutput};
+pub use pipeline::{
+    collect_wire, export_wire, join_measured, run_pipeline, PipelineConfig, PipelineOutput,
+};
 pub use pricelists::{combined_pricelist, itu_pricelist, ntt_pricelist, PriceList};
 pub use spec::{DatasetStats, Network, Table1Row};

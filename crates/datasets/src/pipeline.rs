@@ -11,7 +11,7 @@
 
 use transit_core::flow::TrafficFlow;
 use transit_netflow::{
-    Collector, Exporter, FlowKey, SystematicSampler, TrafficMatrix,
+    Collector, Exporter, FlowKey, MeasuredFlow, SystematicSampler, TrafficMatrix,
 };
 
 use crate::generator::Dataset;
@@ -67,17 +67,16 @@ pub struct PipelineOutput {
     pub offered_bytes: u64,
 }
 
-/// Runs `dataset` through exporters/collector and reconstructs model
-/// flows.
+/// Phase 1 — **export**: offers each flow's packets to per-router
+/// sampled-NetFlow exporters and flushes every router's cache to wire
+/// datagrams. Returns `(wire, offered_bytes)`.
 ///
 /// Per-flow packet counts are rounded from the flow's demand over the
 /// window; flows too small to emit one packet in the window are dropped
 /// (as real sampled NetFlow would likely miss them) — with default
 /// settings that requires < 0.2 kbps.
-pub fn run_pipeline(dataset: &Dataset, config: PipelineConfig) -> PipelineOutput {
+pub fn export_wire(dataset: &Dataset, config: PipelineConfig) -> (Vec<bytes::Bytes>, u64) {
     assert!(config.routers_on_path >= 1, "need at least one router");
-    let _span = transit_obs::span!("datasets.pipeline.run", flows = dataset.flows.len());
-    transit_obs::counter!("datasets.pipeline.runs").inc();
     transit_obs::counter!("datasets.pipeline.flows_offered").add(dataset.flows.len() as u64);
     // Offer packets: every router on the path sees every packet. Each
     // router's sampler starts in the same state and sampling is a
@@ -106,24 +105,42 @@ pub fn run_pipeline(dataset: &Dataset, config: PipelineConfig) -> PipelineOutput
         .collect();
     exporters.insert(0, first);
 
-    // Export and collect: flush every router's cache to wire datagrams,
-    // then ingest the whole batch through the (optionally sharded)
-    // collector — identical state to serial ingestion for any shard count.
     // Direct-to-wire flush: byte-identical to per-packet encode (the
     // exporter's differential test pins it), without materializing owned
     // packets for millions of records.
     let wire: Vec<_> = exporters.iter_mut().flat_map(|e| e.flush_wire(0)).collect();
-    let mut collector =
-        Collector::with_shards_and_workers(config.ingest_shards, config.ingest_workers);
-    collector.ingest_batch(&wire);
+    (wire, offered_bytes)
+}
+
+/// Phase 2 — **collect**: ingests wire datagrams through the
+/// (optionally sharded) collector, undoing cross-router duplication.
+/// Returns `(measured, datagrams, records)`.
+///
+/// Shard/worker counts never change collected state (the collector's
+/// own differential tests pin this), so they are free knobs for the
+/// stage layer — output depends only on the wire bytes.
+pub fn collect_wire<D: AsRef<[u8]> + Sync>(
+    wire: &[D],
+    ingest_shards: usize,
+    ingest_workers: usize,
+) -> (Vec<MeasuredFlow>, u64, u64) {
+    let mut collector = Collector::with_shards_and_workers(ingest_shards, ingest_workers);
+    collector.ingest_batch(wire);
     let (datagrams, records, decode_errors) = collector.stats();
     assert_eq!(decode_errors, 0, "self-generated datagrams decode");
     transit_obs::counter!("datasets.pipeline.measured_datagrams").add(datagrams);
+    (collector.measured_flows(), datagrams, records)
+}
 
-    // Aggregate to a traffic matrix and re-attach ground-truth distances
-    // by endpoint pair (the pipeline measures demand; distance comes from
-    // topology/GeoIP exactly as in §4.1.1).
-    let matrix = TrafficMatrix::from_flows(&collector.measured_flows());
+/// Phase 3 — **join**: re-attaches ground-truth distances/regions to
+/// the reconstructed traffic matrix by endpoint pair (the pipeline
+/// measures demand; distance comes from topology/GeoIP exactly as in
+/// §4.1.1). Returns model-ready flows.
+pub fn join_measured(
+    dataset: &Dataset,
+    matrix: &TrafficMatrix,
+    window_secs: f64,
+) -> Vec<TrafficFlow> {
     // Sorted merge-join: demands come out ordered by (src, dst), so one
     // sort of the ground-truth endpoints replaces a per-entry hash join.
     // A duplicated endpoint pair resolves to its *last* dataset
@@ -144,7 +161,7 @@ pub fn run_pipeline(dataset: &Dataset, config: PipelineConfig) -> PipelineOutput
 
     let mut measured_flows = Vec::new();
     let mut j = 0;
-    for (i, entry) in matrix.iter_demands(config.window_secs).enumerate() {
+    for (i, entry) in matrix.iter_demands(window_secs).enumerate() {
         let key = pack(entry.src, entry.dst);
         while j < by_pair.len() && by_pair[j].0 < key {
             j += 1;
@@ -164,8 +181,23 @@ pub fn run_pipeline(dataset: &Dataset, config: PipelineConfig) -> PipelineOutput
             }
         }
     }
-
     transit_obs::counter!("datasets.pipeline.measured_flows").add(measured_flows.len() as u64);
+    measured_flows
+}
+
+/// Runs `dataset` through exporters/collector and reconstructs model
+/// flows — the composition of [`export_wire`], [`collect_wire`], and
+/// [`join_measured`] (which the stage layer runs as separate cacheable
+/// stages; this inline path is byte-identical by construction and
+/// pinned by the staged-equals-inline test).
+pub fn run_pipeline(dataset: &Dataset, config: PipelineConfig) -> PipelineOutput {
+    let _span = transit_obs::span!("datasets.pipeline.run", flows = dataset.flows.len());
+    transit_obs::counter!("datasets.pipeline.runs").inc();
+    let (wire, offered_bytes) = export_wire(dataset, config);
+    let (measured, datagrams, records) =
+        collect_wire(&wire, config.ingest_shards, config.ingest_workers);
+    let matrix = TrafficMatrix::from_flows(&measured);
+    let measured_flows = join_measured(dataset, &matrix, config.window_secs);
     PipelineOutput {
         measured_flows,
         matrix,

@@ -59,6 +59,21 @@ pub struct ExperimentConfig {
     /// at `/metrics`, span-tree JSON at `/spans`, and `/healthz` for the
     /// lifetime of the run. `None` (the default) binds nothing.
     pub serve_metrics: Option<String>,
+    /// Artifact-store directory (`--store DIR`): every runner's stage
+    /// graph reads and writes the content-addressed cache there.
+    /// `None` (the default) runs storeless. Never fingerprinted —
+    /// caching cannot change output.
+    pub store: Option<String>,
+    /// Resume mode (`--resume`): require `store` to already exist and
+    /// reuse its artifacts; stages whose fingerprints are present are
+    /// skipped, the rest compute. Output is byte-identical either way.
+    pub resume: bool,
+    /// Print each runner's stage plan (hit/miss per node) to stderr
+    /// before executing (`--explain`).
+    pub explain: bool,
+    /// Evict least-recently-used store entries down to this byte budget
+    /// after the run (`--store-gc BYTES`). `None` never evicts.
+    pub store_gc: Option<u64>,
 }
 
 impl Default for ExperimentConfig {
@@ -78,6 +93,10 @@ impl Default for ExperimentConfig {
             log_level: transit_obs::Level::Info,
             profile: None,
             serve_metrics: None,
+            store: None,
+            resume: false,
+            explain: false,
+            store_gc: None,
         }
     }
 }

@@ -21,6 +21,7 @@ pub mod markets;
 pub mod output;
 pub mod profile;
 pub mod runners;
+pub mod stages;
 
 pub use config::ExperimentConfig;
 pub use engine::{ItemTiming, SweepEngine};

@@ -9,9 +9,13 @@ fn usage() -> String {
         "usage: transit-experiments <experiment|all|full|ext> [--json] [--chart] [--quick] [--flows N] [--seed S] [--threads N] [--out DIR]\n\
          \x20                          [--only ID] [--profile DIR] [--serve-metrics ADDR] [--log-level quiet|info|debug]\n\
          \x20                          [--jobs N] [--dp-threads N] [--ingest-workers N]\n\
+         \x20                          [--store DIR] [--resume] [--explain] [--store-gc BYTES]\n\
          \x20  --threads N: process-wide thread-pool budget (0 = all cores); the one knob for total core use.\n\
          \x20  --jobs/--dp-threads/--ingest-workers are deprecated: now per-layer caps within --threads (0 = no cap);\n\
          \x20  results are identical for every combination.\n\
+         \x20  --store DIR: content-addressed artifact cache; stages whose fingerprints are present are not recomputed.\n\
+         \x20  --resume: require the store to exist (crash recovery); --explain: print each stage plan to stderr.\n\
+         \x20  --store-gc BYTES: after the run, evict least-recently-used store entries down to the byte budget.\n\
          experiments: {} {} {}",
         ALL_IDS.join(" "),
         SENSITIVITY_IDS.join(" "),
@@ -111,6 +115,22 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--store" => match it.next() {
+                Some(dir) => config.store = Some(dir.clone()),
+                None => {
+                    eprintln!("--store needs a directory\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--resume" => config.resume = true,
+            "--explain" => config.explain = true,
+            "--store-gc" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(bytes) => config.store_gc = Some(bytes),
+                None => {
+                    eprintln!("--store-gc needs a byte budget\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
             "--log-level" => match it.next().map(|v| v.parse()) {
                 Some(Ok(level)) => config.log_level = level,
                 _ => {
@@ -163,12 +183,21 @@ fn main() -> ExitCode {
         id => vec![id],
     };
 
-    let mut profiled_runs: Vec<(String, Vec<transit_experiments::ItemTiming>)> = Vec::new();
+    if config.resume && config.store.is_none() {
+        eprintln!("--resume requires --store DIR\n{}", usage());
+        return ExitCode::FAILURE;
+    }
+
+    let mut profiled_runs: Vec<transit_experiments::profile::RunRecord> = Vec::new();
     for id in ids {
         match run(id, &config) {
             Ok(Some(result)) => {
                 if config.profile.is_some() {
-                    profiled_runs.push((id.to_string(), result.timings.clone()));
+                    profiled_runs.push(transit_experiments::profile::RunRecord {
+                        id: id.to_string(),
+                        timings: result.timings.clone(),
+                        stages: result.stage_reports.clone(),
+                    });
                 }
                 if let Some(dir) = &out_dir {
                     if let Err(e) = std::fs::create_dir_all(dir).and_then(|()| {
@@ -206,6 +235,24 @@ fn main() -> ExitCode {
             Ok(path) => println!("wrote profile sidecars to {}", path.parent().unwrap().display()),
             Err(e) => {
                 eprintln!("failed to write profile sidecars: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    // LRU-evict the store down to the byte budget after everything ran.
+    if let (Some(dir), Some(budget)) = (&config.store, config.store_gc) {
+        match transit_stage::Store::open_existing(std::path::Path::new(dir))
+            .and_then(|store| store.gc(budget))
+        {
+            Ok(stats) => eprintln!(
+                "store gc: evicted {} entr{} ({} bytes), {} bytes retained",
+                stats.evicted_files,
+                if stats.evicted_files == 1 { "y" } else { "ies" },
+                stats.evicted_bytes,
+                stats.kept_bytes
+            ),
+            Err(e) => {
+                eprintln!("store gc failed: {e}");
                 return ExitCode::FAILURE;
             }
         }

@@ -27,19 +27,34 @@ pub fn fit_market(
     cost_model: &dyn CostModel,
     config: &ExperimentConfig,
 ) -> Result<Box<dyn TransitMarket>> {
+    fit_market_at(
+        family,
+        flows,
+        cost_model,
+        config.alpha,
+        config.p0,
+        config.s0,
+    )
+}
+
+/// Like [`fit_market`], with the calibration knobs passed explicitly —
+/// the form the pipeline stages use, since a stage's fingerprint must
+/// list exactly the parameters it consumes.
+pub fn fit_market_at(
+    family: DemandFamily,
+    flows: &[TrafficFlow],
+    cost_model: &dyn CostModel,
+    alpha: f64,
+    p0: f64,
+    s0: f64,
+) -> Result<Box<dyn TransitMarket>> {
     Ok(match family {
         DemandFamily::Ced => {
-            let fit = fit_ced(flows, cost_model, CedAlpha::new(config.alpha)?, config.p0)?;
+            let fit = fit_ced(flows, cost_model, CedAlpha::new(alpha)?, p0)?;
             Box::new(CedMarket::new(fit)?)
         }
         DemandFamily::Logit => {
-            let fit = fit_logit(
-                flows,
-                cost_model,
-                LogitAlpha::new(config.alpha)?,
-                config.p0,
-                config.s0,
-            )?;
+            let fit = fit_logit(flows, cost_model, LogitAlpha::new(alpha)?, p0, s0)?;
             Box::new(LogitMarket::new(fit)?)
         }
     })

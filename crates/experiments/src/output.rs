@@ -72,6 +72,10 @@ pub struct ExperimentResult {
     /// golden-output guarantee that `--jobs 1` and `--jobs 8` produce
     /// byte-identical JSON.
     pub timings: Vec<ItemTiming>,
+    /// Per-stage execution reports (fingerprint, cache hit, seconds)
+    /// from the stage-graph executor. Execution metadata like
+    /// `timings`: **not** serialized, for the same reason.
+    pub stage_reports: Vec<transit_stage::StageReport>,
 }
 
 // Hand-written so `timings` stays out of the JSON (the vendored serde
@@ -98,6 +102,7 @@ impl ExperimentResult {
             tables: Vec::new(),
             figures: Vec::new(),
             timings: Vec::new(),
+            stage_reports: Vec::new(),
         }
     }
 

@@ -4,10 +4,13 @@
 //! the figure outputs:
 //!
 //! * `run_manifest.json` — the [`transit_obs::RunManifest`]: config, seed,
-//!   git revision, span tree, metric snapshots, per-item timings.
+//!   git revision, span tree, metric snapshots, per-item timings, and
+//!   per-stage execution records (fingerprint, cache hit, seconds).
 //! * `metrics.prom` — the same metric snapshot in Prometheus text format.
 //! * `<id>.timings.json` — per-experiment item timings, one file per
 //!   experiment that reported any.
+//! * `<id>.stages.json` — per-experiment stage reports from the
+//!   stage-graph executor, one file per experiment that ran a graph.
 //! * `events.jsonl` + `trace.json` — when the event journal is enabled
 //!   (the CLI enables it for `--profile` runs), the streamed timeline
 //!   and its Chrome/Perfetto `trace_event` export.
@@ -19,8 +22,21 @@
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 
+use transit_obs::fsutil::atomic_write;
+use transit_stage::StageReport;
+
 use crate::config::ExperimentConfig;
 use crate::engine::ItemTiming;
+
+/// Everything one experiment contributes to the profile sidecars.
+pub struct RunRecord {
+    /// Experiment id (`"fig8"`, ...).
+    pub id: String,
+    /// Figure-item timings (sweep-item granularity, legacy labels).
+    pub timings: Vec<ItemTiming>,
+    /// Stage-graph execution reports (includes dataset nodes).
+    pub stages: Vec<StageReport>,
+}
 
 /// Renders one experiment's item timings as a JSON array of
 /// `{"label": …, "seconds": …}` objects.
@@ -38,24 +54,60 @@ fn timings_json(timings: &[ItemTiming]) -> String {
         .expect("timing content is serializable")
 }
 
+/// One stage report as JSON content.
+fn stage_content(report: &StageReport) -> serde::Content {
+    serde::Content::Map(vec![
+        ("label".into(), serde::Content::Str(report.label.clone())),
+        ("kind".into(), serde::Content::Str(report.kind.clone())),
+        (
+            "fingerprint".into(),
+            serde::Content::Str(report.fingerprint.hex()),
+        ),
+        ("hit".into(), serde::Content::Bool(report.hit)),
+        ("seconds".into(), serde::Content::F64(report.seconds)),
+    ])
+}
+
+/// Renders one experiment's stage reports as a JSON array.
+fn stages_json(stages: &[StageReport]) -> String {
+    serde_json::to_string_pretty(&serde::Content::Seq(
+        stages.iter().map(stage_content).collect(),
+    ))
+    .expect("stage content is serializable")
+}
+
 /// Writes all observability sidecars for one harness invocation into
-/// `dir`: the run manifest, Prometheus metrics, and one
-/// `<id>.timings.json` per experiment with timings. Returns the manifest
-/// path.
+/// `dir`: the run manifest, Prometheus metrics, and per-experiment
+/// `<id>.timings.json` / `<id>.stages.json` files. Returns the manifest
+/// path. All writes are atomic (`*.tmp` + rename).
 pub fn write_profile(
     dir: &Path,
     config: &ExperimentConfig,
-    runs: &[(String, Vec<ItemTiming>)],
+    runs: &[RunRecord],
 ) -> std::io::Result<PathBuf> {
     std::fs::create_dir_all(dir)?;
     let mut manifest_timings: BTreeMap<String, transit_obs::RunTimings> = BTreeMap::new();
-    for (id, timings) in runs {
-        if !timings.is_empty() {
-            std::fs::write(dir.join(format!("{id}.timings.json")), timings_json(timings))?;
+    let mut manifest_stages: Vec<(String, serde::Content)> = Vec::new();
+    for run in runs {
+        if !run.timings.is_empty() {
+            atomic_write(
+                &dir.join(format!("{}.timings.json", run.id)),
+                timings_json(&run.timings).as_bytes(),
+            )?;
+        }
+        if !run.stages.is_empty() {
+            atomic_write(
+                &dir.join(format!("{}.stages.json", run.id)),
+                stages_json(&run.stages).as_bytes(),
+            )?;
+            manifest_stages.push((
+                run.id.clone(),
+                serde::Content::Seq(run.stages.iter().map(stage_content).collect()),
+            ));
         }
         manifest_timings.insert(
-            id.clone(),
-            timings
+            run.id.clone(),
+            run.timings
                 .iter()
                 .map(|t| (t.label.clone(), t.seconds))
                 .collect(),
@@ -65,9 +117,10 @@ pub fn write_profile(
         serde::Serialize::to_content(config),
         config.seed,
         crate::engine::SweepEngine::from_config(config).jobs(),
-        runs.iter().map(|(id, _)| id.clone()).collect(),
+        runs.iter().map(|run| run.id.clone()).collect(),
         manifest_timings,
-    );
+    )
+    .with_stages(serde::Content::Map(manifest_stages));
     let manifest_path = manifest.write_to(dir)?;
     // Journal finalization rides along with manifest emission: flush any
     // buffered events and convert the journal to trace.json. A no-op
@@ -79,34 +132,60 @@ pub fn write_profile(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use transit_stage::Fingerprint;
 
     #[test]
     fn write_profile_emits_manifest_and_timing_sidecars() {
         let dir = std::env::temp_dir().join(format!("transit_profile_{}", std::process::id()));
         let config = ExperimentConfig::quick();
         let runs = vec![
-            (
-                "figX".to_string(),
-                vec![ItemTiming {
+            RunRecord {
+                id: "figX".to_string(),
+                timings: vec![ItemTiming {
                     label: "figXa/Optimal".into(),
                     seconds: 0.25,
                 }],
-            ),
-            ("figY".to_string(), Vec::new()),
+                stages: vec![StageReport {
+                    label: "dataset EU ISP/n120/s42".into(),
+                    kind: "dataset.generate".into(),
+                    fingerprint: Fingerprint([7u8; 32]),
+                    hit: true,
+                    seconds: 0.001,
+                }],
+            },
+            RunRecord {
+                id: "figY".to_string(),
+                timings: Vec::new(),
+                stages: Vec::new(),
+            },
         ];
         let manifest_path = write_profile(&dir, &config, &runs).unwrap();
         assert!(manifest_path.exists());
         assert!(dir.join("metrics.prom").exists());
         assert!(dir.join("figX.timings.json").exists());
+        assert!(dir.join("figX.stages.json").exists());
         assert!(
             !dir.join("figY.timings.json").exists(),
             "experiments without timings get no sidecar"
+        );
+        assert!(
+            !dir.join("figY.stages.json").exists(),
+            "experiments without stages get no sidecar"
         );
         let manifest: serde_json::Value =
             serde_json::from_str(&std::fs::read_to_string(&manifest_path).unwrap()).unwrap();
         assert_eq!(manifest["schema"], "transit-obs/v1");
         assert_eq!(manifest["experiments"][0], "figX");
         assert_eq!(manifest["timings"]["figX"][0]["label"], "figXa/Optimal");
+        assert_eq!(manifest["stages"]["figX"][0]["kind"], "dataset.generate");
+        assert_eq!(
+            manifest["stages"]["figX"][0]["hit"],
+            serde_json::Value::Bool(true)
+        );
+        assert_eq!(
+            manifest["stages"]["figX"][0]["fingerprint"],
+            "07".repeat(32).as_str()
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -25,12 +25,33 @@ use transit_routing::{
 use crate::config::ExperimentConfig;
 use crate::markets::fit_market;
 use crate::output::{trim_num, ExperimentResult, TableOut};
+use crate::stages::run_result_stage;
 
 /// Number of tiers the experiment provisions.
 const TIERS: usize = 3;
 
-/// Runs the accounting-equivalence experiment.
+/// Runs the accounting-equivalence experiment as a whole-result stage.
+/// Fingerprinted by the output-affecting knobs only — `--ingest-workers`
+/// is an execution knob (collector state is identical for any worker
+/// count) and deliberately stays out of the params.
 pub fn fig17(config: &ExperimentConfig) -> Result<ExperimentResult> {
+    let params = transit_stage::canon::map(vec![
+        // The runner caps the instance at 60 flows; fingerprint the
+        // effective value so configs above the cap share one artifact.
+        (
+            "n_flows",
+            serde::Content::U64(config.n_flows.min(60) as u64),
+        ),
+        ("seed", serde::Content::U64(config.seed)),
+        ("alpha", serde::Content::F64(config.alpha)),
+        ("p0", serde::Content::F64(config.p0)),
+        ("theta", serde::Content::F64(config.theta)),
+    ]);
+    let c = config.clone();
+    run_result_stage(config, "fig17", params, move || compute_fig17(&c))
+}
+
+fn compute_fig17(config: &ExperimentConfig) -> Result<ExperimentResult> {
     // Small, CPU-cheap instance: the point is mechanism, not scale.
     let n_flows = config.n_flows.min(60);
     let market_span = transit_obs::span!("fig17.fit_and_bundle");

@@ -2,21 +2,20 @@
 //! for CED and logit demand.
 
 use transit_core::bundling::StrategyKind;
-use transit_core::capture::capture_curve;
-use transit_core::cost::LinearCost;
 use transit_core::demand::DemandFamily;
 use transit_core::error::Result;
-use transit_core::market::TransitMarket;
 use transit_datasets::Network;
 
 use crate::config::ExperimentConfig;
-use crate::engine::{ItemTiming, SweepEngine};
-use crate::markets::{fit_market, flows_for};
+use crate::engine::ItemTiming;
 use crate::output::{ExperimentResult, Figure, Series};
+use crate::stages::{
+    dataset_node, decode_curve, execute, stage_error, CaptureStage, StrategySpec,
+};
 
-/// Builds one capture-figure result: markets are fitted per panel, then
-/// every (panel, strategy) pair becomes an independent sweep item and
-/// the curves merge back in panel-major, strategy-minor paper order.
+/// Builds one capture-figure result as a stage graph: one dataset node
+/// per panel feeding one `exp.capture` node per (panel, strategy), with
+/// the curves merged back in panel-major, strategy-minor paper order.
 fn capture_result(
     result_id: &str,
     title: &str,
@@ -26,35 +25,35 @@ fn capture_result(
     config: &ExperimentConfig,
 ) -> Result<ExperimentResult> {
     let mut r = ExperimentResult::new(result_id, title);
-    let engine = SweepEngine::from_config(config);
-    let cost = LinearCost::new(config.theta)?;
 
-    // Fitting is cheap next to the capture sweeps; do it up front so
-    // every work item shares one immutable market per panel.
-    let markets: Vec<Box<dyn TransitMarket>> = {
-        let _span = transit_obs::span!("fit_markets", panels = panels.len());
-        panels
-            .iter()
-            .map(|&(_, network)| fit_market(family, &flows_for(network, config), &cost, config))
-            .collect::<Result<_>>()?
-    };
-
-    let items: Vec<(usize, StrategyKind)> = (0..panels.len())
-        .flat_map(|pi| strategies.iter().map(move |&kind| (pi, kind)))
+    let mut graph = transit_stage::Graph::new();
+    let datasets: Vec<_> = panels
+        .iter()
+        .map(|&(_, network)| dataset_node(&mut graph, network, config.n_flows, config.seed))
         .collect();
-    let (curves, durations) = engine.try_run_timed(&items, |_, &(pi, kind)| {
-        let strategy = kind.build();
-        capture_curve(markets[pi].as_ref(), strategy.as_ref(), config.max_bundles)
-            .map(|curve| curve.capture)
-    })?;
-    for (&(pi, kind), d) in items.iter().zip(&durations) {
+    let mut curve_nodes = Vec::with_capacity(panels.len() * strategies.len());
+    for (pi, &(panel, _)) in panels.iter().enumerate() {
+        for &kind in strategies {
+            curve_nodes.push(graph.add_labeled(
+                format!("{panel}/{}", kind.label()),
+                CaptureStage::from_config(family, StrategySpec::Kind(kind), config),
+                &[datasets[pi]],
+            ));
+        }
+    }
+
+    let outcome = execute(result_id, config, &graph)?;
+    for &node in &curve_nodes {
+        let report = &outcome.reports[node.index()];
         r.timings.push(ItemTiming {
-            label: format!("{}/{}", panels[pi].0, kind.label()),
-            seconds: d.as_secs_f64(),
+            label: report.label.clone(),
+            seconds: report.seconds,
         });
     }
 
-    let mut curves = curves.into_iter();
+    let mut curves = curve_nodes.iter().map(|&node| {
+        decode_curve(outcome.artifact(node).bytes()).map_err(stage_error)
+    });
     for &(panel, network) in panels {
         let mut figure = Figure {
             id: panel.into(),
@@ -71,11 +70,12 @@ fn capture_result(
         for &kind in strategies {
             figure.series.push(Series {
                 label: kind.label().into(),
-                y: curves.next().expect("one curve per (panel, strategy)"),
+                y: curves.next().expect("one curve per (panel, strategy)")?,
             });
         }
         r.figures.push(figure);
     }
+    r.stage_reports = outcome.reports;
     Ok(r)
 }
 
@@ -150,6 +150,15 @@ mod tests {
             let pw = f.series_named("Profit-weighted").unwrap();
             assert!(pw.y[3] >= 0.6, "{}: profit-weighted {}", f.id, pw.y[3]);
         }
+    }
+
+    #[test]
+    fn fig8_timings_keep_sweep_item_labels() {
+        let r = fig8(&config()).unwrap();
+        assert_eq!(r.timings.len(), 18);
+        assert_eq!(r.timings[0].label, "fig8a/Optimal");
+        // Stage reports additionally cover the dataset nodes.
+        assert_eq!(r.stage_reports.len(), 21);
     }
 
     #[test]

@@ -8,35 +8,21 @@
 //! by construction (the γ calibration pins the demand-weighted mean cost
 //! at the blended-rate first-order condition), which the tests verify.
 
-use transit_core::bundling::{BundlingStrategy, ClassAware, StrategyKind, WeightKind};
-use transit_core::cost::{ConcaveCost, CostModel, DestTypeCost, LinearCost, RegionalCost};
 use transit_core::demand::DemandFamily;
 use transit_core::error::Result;
-use transit_core::flow::{split_by_dest_class, TrafficFlow};
 use transit_datasets::Network;
 
 use crate::config::ExperimentConfig;
-use crate::engine::{ItemTiming, SweepEngine};
-use crate::markets::{fit_market, flows_for};
+use crate::engine::ItemTiming;
 use crate::output::{ExperimentResult, Figure, Series};
+use crate::stages::{
+    dataset_node, decode_curve, execute, stage_error, ThetaCostKind, ThetaProfitStage,
+};
 
-/// How a θ-panel builds its cost model and (optionally) transforms flows
-/// and picks a strategy.
+/// A θ-panel: which cost model, at which θ values.
 struct ThetaPanel {
     thetas: Vec<f64>,
-    cost_for: fn(f64) -> Result<Box<dyn CostModel + Send + Sync>>,
-    /// Transforms base flows per θ (identity except dest-type split).
-    flows_for_theta: fn(&[TrafficFlow], f64) -> Result<Vec<TrafficFlow>>,
-    /// Strategy per θ-transformed flow set.
-    strategy_for: fn(&[TrafficFlow]) -> Box<dyn BundlingStrategy + Send + Sync>,
-}
-
-fn identity_flows(flows: &[TrafficFlow], _theta: f64) -> Result<Vec<TrafficFlow>> {
-    Ok(flows.to_vec())
-}
-
-fn profit_weighted(_flows: &[TrafficFlow]) -> Box<dyn BundlingStrategy + Send + Sync> {
-    StrategyKind::ProfitWeighted.build()
+    cost: ThetaCostKind,
 }
 
 fn run_theta_panel(
@@ -45,34 +31,50 @@ fn run_theta_panel(
     panel: ThetaPanel,
     config: &ExperimentConfig,
 ) -> Result<ExperimentResult> {
-    let base_flows = flows_for(Network::EuIsp, config);
     let mut r = ExperimentResult::new(id, title);
-    let engine = SweepEngine::from_config(config);
 
-    // Every (family, θ) pair is an independent work item: fit the
-    // market and evaluate all bundle counts. Merged in paper order
-    // (families outer, θ inner) below.
+    // Every (family, θ) pair is an independent `exp.theta` stage over
+    // the shared EU ISP dataset node. Merged in paper order (families
+    // outer, θ inner) below.
+    let mut graph = transit_stage::Graph::new();
+    let dataset = dataset_node(&mut graph, Network::EuIsp, config.n_flows, config.seed);
     let items: Vec<(DemandFamily, f64)> = DemandFamily::ALL
         .into_iter()
         .flat_map(|family| panel.thetas.iter().map(move |&theta| (family, theta)))
         .collect();
-    let (evaluated, durations) = engine.try_run_timed(&items, |_, &(family, theta)| {
-        let flows = (panel.flows_for_theta)(&base_flows, theta)?;
-        let cost = (panel.cost_for)(theta)?;
-        let market = fit_market(family, &flows, cost.as_ref(), config)?;
-        let strategy = (panel.strategy_for)(&flows);
-        let profits = strategy
-            .bundle_series(market.as_ref(), config.max_bundles)?
-            .iter()
-            .map(|bundling| market.profit(bundling))
-            .collect::<transit_core::error::Result<Vec<f64>>>()?;
-        Ok((theta, profits, market.original_profit(), market.max_profit()))
-    })?;
-    for (&(family, theta), d) in items.iter().zip(&durations) {
+    let nodes: Vec<_> = items
+        .iter()
+        .map(|&(family, theta)| {
+            graph.add_labeled(
+                format!("{id}/{}/theta={theta}", family.label()),
+                ThetaProfitStage {
+                    family,
+                    cost: panel.cost,
+                    theta,
+                    max_bundles: config.max_bundles,
+                    alpha: config.alpha,
+                    p0: config.p0,
+                    s0: config.s0,
+                },
+                &[dataset],
+            )
+        })
+        .collect();
+
+    let outcome = execute(id, config, &graph)?;
+    // Decode back into the pre-stage-graph item shape:
+    // (theta, profits, orig, max).
+    let mut evaluated = Vec::with_capacity(nodes.len());
+    for (&(_, theta), &node) in items.iter().zip(&nodes) {
+        let report = &outcome.reports[node.index()];
         r.timings.push(ItemTiming {
-            label: format!("{id}/{}/theta={theta}", family.label()),
-            seconds: d.as_secs_f64(),
+            label: report.label.clone(),
+            seconds: report.seconds,
         });
+        let mut values = decode_curve(outcome.artifact(node).bytes()).map_err(stage_error)?;
+        let max = values.pop().ok_or_else(|| stage_error("empty theta artifact"))?;
+        let orig = values.pop().ok_or_else(|| stage_error("empty theta artifact"))?;
+        evaluated.push((theta, values, orig, max));
     }
 
     let mut evaluated = evaluated.into_iter();
@@ -103,6 +105,7 @@ fn run_theta_panel(
         }
         r.figures.push(figure);
     }
+    r.stage_reports = outcome.reports;
     Ok(r)
 }
 
@@ -113,9 +116,7 @@ pub fn fig10(config: &ExperimentConfig) -> Result<ExperimentResult> {
         "Profit increase in EU ISP network using linear cost model",
         ThetaPanel {
             thetas: vec![0.1, 0.2, 0.3],
-            cost_for: |t| Ok(Box::new(LinearCost::new(t)?)),
-            flows_for_theta: identity_flows,
-            strategy_for: profit_weighted,
+            cost: ThetaCostKind::Linear,
         },
         config,
     )
@@ -128,9 +129,7 @@ pub fn fig11(config: &ExperimentConfig) -> Result<ExperimentResult> {
         "Profit increase in EU ISP network using concave cost model",
         ThetaPanel {
             thetas: vec![0.1, 0.2, 0.3],
-            cost_for: |t| Ok(Box::new(ConcaveCost::paper_fit(t)?)),
-            flows_for_theta: identity_flows,
-            strategy_for: profit_weighted,
+            cost: ThetaCostKind::Concave,
         },
         config,
     )
@@ -143,9 +142,7 @@ pub fn fig12(config: &ExperimentConfig) -> Result<ExperimentResult> {
         "Profit increase in EU ISP network using regional cost model",
         ThetaPanel {
             thetas: vec![1.0, 1.1, 1.2],
-            cost_for: |t| Ok(Box::new(RegionalCost::new(t)?)),
-            flows_for_theta: identity_flows,
-            strategy_for: profit_weighted,
+            cost: ThetaCostKind::Regional,
         },
         config,
     )
@@ -160,14 +157,7 @@ pub fn fig13(config: &ExperimentConfig) -> Result<ExperimentResult> {
         "Profit increase in EU ISP network using destination type cost model",
         ThetaPanel {
             thetas: vec![0.05, 0.1, 0.15],
-            cost_for: |_| Ok(Box::new(DestTypeCost::new())),
-            flows_for_theta: |flows, theta| split_by_dest_class(flows, theta),
-            strategy_for: |flows| {
-                Box::new(ClassAware::from_dest_classes(
-                    WeightKind::PotentialProfit,
-                    flows,
-                ))
-            },
+            cost: ThetaCostKind::DestType,
         },
         config,
     )
@@ -176,6 +166,7 @@ pub fn fig13(config: &ExperimentConfig) -> Result<ExperimentResult> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use transit_core::cost::{ConcaveCost, LinearCost};
 
     fn config() -> ExperimentConfig {
         ExperimentConfig::quick()

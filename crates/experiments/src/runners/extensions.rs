@@ -7,10 +7,8 @@
 //! * [`ext_response`] — engineering view of a re-pricing: per-tier
 //!   traffic and revenue before/after.
 
-use transit_core::bundling::{
-    BundlingStrategy, DemandMassDivision, NaturalBreaks, StrategyKind,
-};
-use transit_core::capture::capture_curve;
+use serde::Content;
+use transit_core::bundling::StrategyKind;
 use transit_core::cost::LinearCost;
 use transit_core::demand::ced::CedAlpha;
 use transit_core::demand::DemandFamily;
@@ -20,11 +18,15 @@ use transit_core::market::{CedMarket, TransitMarket};
 use transit_datasets::Network;
 use transit_market::competition::{symmetric_transit_duopoly, Regime};
 use transit_market::response::ced_response;
+use transit_stage::canon;
 
 use crate::config::ExperimentConfig;
-use crate::engine::{ItemTiming, SweepEngine};
-use crate::markets::{fit_market, flows_for};
+use crate::engine::ItemTiming;
+use crate::markets::flows_for;
 use crate::output::{trim_num, ExperimentResult, Figure, Series, TableOut};
+use crate::stages::{
+    dataset_node, decode_curve, execute, run_result_stage, stage_error, CaptureStage, StrategySpec,
+};
 
 /// Extension strategies vs the paper's, CED demand, all networks.
 pub fn ext_strategies(config: &ExperimentConfig) -> Result<ExperimentResult> {
@@ -37,37 +39,49 @@ pub fn ext_strategies(config: &ExperimentConfig) -> Result<ExperimentResult> {
          demand-mass-division: equal-traffic cuts of the cost-sorted flows"
             .into(),
     );
-    let engine = SweepEngine::from_config(config);
-    let cost = LinearCost::new(config.theta)?;
-    let markets: Vec<_> = Network::ALL
-        .iter()
-        .map(|&network| fit_market(DemandFamily::Ced, &flows_for(network, config), &cost, config))
-        .collect::<Result<Vec<_>>>()?;
-    let named: Vec<(&str, Box<dyn BundlingStrategy + Send + Sync>)> = vec![
-        ("Optimal", StrategyKind::Optimal.build()),
-        ("Profit-weighted", StrategyKind::ProfitWeighted.build()),
-        ("Cost division", StrategyKind::CostDivision.build()),
-        ("Natural breaks (ext)", Box::new(NaturalBreaks)),
-        ("Demand-mass division (ext)", Box::new(DemandMassDivision)),
+    let named: [(&str, StrategySpec); 5] = [
+        ("Optimal", StrategySpec::Kind(StrategyKind::Optimal)),
+        (
+            "Profit-weighted",
+            StrategySpec::Kind(StrategyKind::ProfitWeighted),
+        ),
+        (
+            "Cost division",
+            StrategySpec::Kind(StrategyKind::CostDivision),
+        ),
+        ("Natural breaks (ext)", StrategySpec::NaturalBreaks),
+        (
+            "Demand-mass division (ext)",
+            StrategySpec::DemandMassDivision,
+        ),
     ];
 
-    // One sweep item per (network, strategy); curves merge back in
-    // network-major, strategy-minor order.
-    let items: Vec<(usize, usize)> = (0..markets.len())
-        .flat_map(|mi| (0..named.len()).map(move |si| (mi, si)))
-        .collect();
-    let (curves, durations) = engine.try_run_timed(&items, |_, &(mi, si)| {
-        capture_curve(markets[mi].as_ref(), named[si].1.as_ref(), config.max_bundles)
-            .map(|curve| curve.capture)
-    })?;
-    for (&(mi, si), d) in items.iter().zip(&durations) {
+    // One `exp.capture` stage per (network, strategy); curves merge back
+    // in network-major, strategy-minor order.
+    let mut graph = transit_stage::Graph::new();
+    let mut nodes = Vec::with_capacity(Network::ALL.len() * named.len());
+    for network in Network::ALL {
+        let dataset = dataset_node(&mut graph, network, config.n_flows, config.seed);
+        for &(name, spec) in &named {
+            nodes.push(graph.add_labeled(
+                format!("ext1/{}/{name}", network.label()),
+                CaptureStage::from_config(DemandFamily::Ced, spec, config),
+                &[dataset],
+            ));
+        }
+    }
+    let outcome = execute("ext1", config, &graph)?;
+    for &node in &nodes {
+        let report = &outcome.reports[node.index()];
         r.timings.push(ItemTiming {
-            label: format!("ext1/{}/{}", Network::ALL[mi].label(), named[si].0),
-            seconds: d.as_secs_f64(),
+            label: report.label.clone(),
+            seconds: report.seconds,
         });
     }
 
-    let mut curves = curves.into_iter();
+    let mut curves = nodes
+        .iter()
+        .map(|&node| decode_curve(outcome.artifact(node).bytes()).map_err(stage_error));
     for network in Network::ALL {
         let mut figure = Figure {
             id: format!("ext1-{}", network.label().replace(' ', "-").to_lowercase()),
@@ -80,16 +94,23 @@ pub fn ext_strategies(config: &ExperimentConfig) -> Result<ExperimentResult> {
         for (label, _) in &named {
             figure.series.push(Series {
                 label: (*label).into(),
-                y: curves.next().expect("one curve per (network, strategy)"),
+                y: curves.next().expect("one curve per (network, strategy)")?,
             });
         }
         r.figures.push(figure);
     }
+    r.stage_reports = outcome.reports;
     Ok(r)
 }
 
-/// Duopoly equilibria across regime combinations.
-pub fn ext_competition() -> Result<ExperimentResult> {
+/// Duopoly equilibria across regime combinations. A whole-result stage:
+/// the computation is closed-form (no dataset, no config knobs), so its
+/// fingerprint is constant.
+pub fn ext_competition(config: &ExperimentConfig) -> Result<ExperimentResult> {
+    run_result_stage(config, "ext2", canon::map(vec![]), compute_ext2)
+}
+
+fn compute_ext2() -> Result<ExperimentResult> {
     let d = symmetric_transit_duopoly();
     let mut r = ExperimentResult::new(
         "ext2",
@@ -143,8 +164,21 @@ pub fn ext_competition() -> Result<ExperimentResult> {
     Ok(r)
 }
 
-/// Demand response of the EU ISP to an optimal 3-tier structure.
+/// Demand response of the EU ISP to an optimal 3-tier structure. A
+/// whole-result stage fingerprinted by the knobs the computation reads.
 pub fn ext_response(config: &ExperimentConfig) -> Result<ExperimentResult> {
+    let params = canon::map(vec![
+        ("n_flows", Content::U64(config.n_flows as u64)),
+        ("seed", Content::U64(config.seed)),
+        ("alpha", Content::F64(config.alpha)),
+        ("p0", Content::F64(config.p0)),
+        ("theta", Content::F64(config.theta)),
+    ]);
+    let c = config.clone();
+    run_result_stage(config, "ext3", params, move || compute_ext3(&c))
+}
+
+fn compute_ext3(config: &ExperimentConfig) -> Result<ExperimentResult> {
     let flows = flows_for(Network::EuIsp, config);
     let cost = LinearCost::new(config.theta)?;
     let market = CedMarket::new(fit_ced(
@@ -231,7 +265,7 @@ mod tests {
 
     #[test]
     fn ext2_orderings_hold() {
-        let r = ext_competition().unwrap();
+        let r = ext_competition(&config()).unwrap();
         let rows = &r.tables[0].rows;
         let profit = |row: usize, col: usize| -> f64 { rows[row][col].parse().unwrap() };
         // Row 0: blended/blended; row 1: tiered/blended; row 2: tiered/tiered.
@@ -261,8 +295,23 @@ mod tests {
 }
 
 /// Welfare decomposition across tier counts: does the Fig. 1 result
-/// (tiering helps consumers too) hold at scale?
+/// (tiering helps consumers too) hold at scale? A whole-result stage
+/// fingerprinted by the knobs the computation reads.
 pub fn ext_welfare(config: &ExperimentConfig) -> Result<ExperimentResult> {
+    let params = canon::map(vec![
+        ("n_flows", Content::U64(config.n_flows as u64)),
+        ("seed", Content::U64(config.seed)),
+        ("alpha", Content::F64(config.alpha)),
+        ("p0", Content::F64(config.p0)),
+        ("theta", Content::F64(config.theta)),
+        ("s0", Content::F64(config.s0)),
+        ("max_bundles", Content::U64(config.max_bundles as u64)),
+    ]);
+    let c = config.clone();
+    run_result_stage(config, "ext4", params, move || compute_ext4(&c))
+}
+
+fn compute_ext4(config: &ExperimentConfig) -> Result<ExperimentResult> {
     use transit_core::demand::logit::LogitAlpha;
     use transit_core::fitting::fit_logit;
     use transit_core::market::LogitMarket;
@@ -386,7 +435,6 @@ pub fn ext_welfare(config: &ExperimentConfig) -> Result<ExperimentResult> {
 /// The cross-cutting summary: capture at 4 tiers for every (network,
 /// demand family, strategy) — this repository's own "Table 2".
 pub fn summary(config: &ExperimentConfig) -> Result<ExperimentResult> {
-    let cost = LinearCost::new(config.theta)?;
     let mut r = ExperimentResult::new(
         "summary",
         "Profit capture at 4 tiers: every network, demand family, and strategy",
@@ -405,39 +453,60 @@ pub fn summary(config: &ExperimentConfig) -> Result<ExperimentResult> {
         ],
         rows: Vec::new(),
     };
-    // Markets once per (network, family).
-    let mut markets = Vec::new();
-    for network in [Network::EuIsp, Network::Internet2, Network::Cdn] {
-        let flows = flows_for(network, config);
-        for family in DemandFamily::ALL {
-            markets.push(fit_market(family, &flows, &cost, config)?);
-        }
-    }
-    // The full (strategy, market) grid as independent sweep items,
-    // merged back strategy-major to match the table layout.
-    let engine = SweepEngine::from_config(config);
+    // One (network, family) pair per market index; the full
+    // (strategy, market) grid becomes independent `exp.capture` stages
+    // (capped at 4 bundles, the table's tier count), merged back
+    // strategy-major to match the table layout.
+    let networks = [Network::EuIsp, Network::Internet2, Network::Cdn];
+    let grid: Vec<(Network, DemandFamily)> = networks
+        .into_iter()
+        .flat_map(|network| DemandFamily::ALL.into_iter().map(move |family| (network, family)))
+        .collect();
+
+    let mut graph = transit_stage::Graph::new();
+    let datasets: Vec<_> = networks
+        .into_iter()
+        .map(|network| dataset_node(&mut graph, network, config.n_flows, config.seed))
+        .collect();
     let items: Vec<(StrategyKind, usize)> = StrategyKind::ALL
         .iter()
-        .flat_map(|&kind| (0..markets.len()).map(move |mi| (kind, mi)))
+        .flat_map(|&kind| (0..grid.len()).map(move |mi| (kind, mi)))
         .collect();
-    let (cells, durations) = engine.try_run_timed(&items, |_, &(kind, mi)| {
-        let strategy = kind.build();
-        let out = capture_curve(markets[mi].as_ref(), strategy.as_ref(), 4)?;
-        Ok(format!("{:.0}%", out.capture[3] * 100.0))
-    })?;
-    for (&(kind, mi), d) in items.iter().zip(&durations) {
+    let nodes: Vec<_> = items
+        .iter()
+        .map(|&(kind, mi)| {
+            let (network, family) = grid[mi];
+            let dataset = datasets[networks.iter().position(|&n| n == network).expect("grid")];
+            graph.add_labeled(
+                format!("summary/{}/market{mi}", kind.label()),
+                CaptureStage {
+                    max_bundles: 4,
+                    ..CaptureStage::from_config(family, StrategySpec::Kind(kind), config)
+                },
+                &[dataset],
+            )
+        })
+        .collect();
+
+    let outcome = execute("summary", config, &graph)?;
+    let mut cells = Vec::with_capacity(nodes.len());
+    for &node in &nodes {
+        let report = &outcome.reports[node.index()];
         r.timings.push(ItemTiming {
-            label: format!("summary/{}/market{}", kind.label(), mi),
-            seconds: d.as_secs_f64(),
+            label: report.label.clone(),
+            seconds: report.seconds,
         });
+        let curve = decode_curve(outcome.artifact(node).bytes()).map_err(stage_error)?;
+        cells.push(format!("{:.0}%", curve[3] * 100.0));
     }
     let mut cells = cells.into_iter();
     for kind in StrategyKind::ALL {
         let mut row = vec![kind.label().to_string()];
-        row.extend((0..markets.len()).map(|_| cells.next().expect("full grid")));
+        row.extend((0..grid.len()).map(|_| cells.next().expect("full grid")));
         t.rows.push(row);
     }
     r.tables.push(t);
+    r.stage_reports = outcome.reports;
     Ok(r)
 }
 

@@ -8,35 +8,23 @@
 //! values". Fig. 16's caption says *maximum*, contradicting the body
 //! text; we emit both envelopes there and note the discrepancy.
 //!
-//! Sweeps fan out over (family, network, parameter value) work items on
-//! the [`SweepEngine`] (pure CPU work; no async runtime, per the
-//! project's engineering conventions). Results merge in paper order, so
-//! output is identical for every `--jobs` value.
+//! Sweeps compile into one stage graph per figure: a dataset node per
+//! network feeding an `exp.capture` node per (family, network,
+//! parameter value). Results merge in paper order, so output is
+//! identical for every `--jobs` value — and because the capture-stage
+//! fingerprint is a pure function of (dataset, family, strategy,
+//! α/P0/θ/s0), a shared `--store` deduplicates overlapping points
+//! across figures (e.g. fig14's α=1.1 column is fig15's P0=20 column).
 
 use transit_core::bundling::StrategyKind;
-use transit_core::capture::capture_curve;
-use transit_core::cost::LinearCost;
 use transit_core::demand::DemandFamily;
 use transit_core::error::Result;
 use transit_datasets::Network;
 
 use crate::config::ExperimentConfig;
-use crate::engine::{ItemTiming, SweepEngine};
-use crate::markets::{fit_market, flows_for};
+use crate::engine::ItemTiming;
 use crate::output::{ExperimentResult, Figure, Series};
-
-/// One sweep job: capture curve for a single parameter value.
-fn capture_for(
-    family: DemandFamily,
-    network: Network,
-    config: &ExperimentConfig,
-) -> Result<Vec<f64>> {
-    let flows = flows_for(network, config);
-    let cost = LinearCost::new(config.theta)?;
-    let market = fit_market(family, &flows, &cost, config)?;
-    let strategy = StrategyKind::ProfitWeighted.build();
-    Ok(capture_curve(market.as_ref(), strategy.as_ref(), config.max_bundles)?.capture)
-}
+use crate::stages::{dataset_node, decode_curve, execute, stage_error, CaptureStage, StrategySpec};
 
 /// Element-wise min / max over sweep results.
 fn envelope(curves: &[Vec<f64>], max: bool) -> Vec<f64> {
@@ -68,7 +56,7 @@ fn sweep(
     emit_max_too: bool,
 ) -> Result<ExperimentResult> {
     let mut r = ExperimentResult::new(base_id, title);
-    let engine = SweepEngine::from_config(&variants[0].1);
+    let base = &variants[0].1;
 
     // Flatten the sweep into one item list so the pool stays busy across
     // family/network boundaries.
@@ -81,19 +69,43 @@ fn sweep(
                 .flat_map(move |network| (0..n_variants).map(move |vi| (family, network, vi)))
         })
         .collect();
-    let (curves, durations) = engine.try_run_timed(&items, |_, &(family, network, vi)| {
-        capture_for(family, network, &variants[vi].1)
-    })?;
-    for (&(family, network, vi), d) in items.iter().zip(&durations) {
+
+    let mut graph = transit_stage::Graph::new();
+    let datasets: Vec<_> = Network::ALL
+        .into_iter()
+        .map(|network| dataset_node(&mut graph, network, base.n_flows, base.seed))
+        .collect();
+    let dataset_for =
+        |network: Network| datasets[Network::ALL.iter().position(|&n| n == network).expect("ALL")];
+    let nodes: Vec<_> = items
+        .iter()
+        .map(|&(family, network, vi)| {
+            graph.add_labeled(
+                format!(
+                    "{base_id}/{}/{}/{}",
+                    family.label(),
+                    network.label(),
+                    variants[vi].0
+                ),
+                CaptureStage::from_config(
+                    family,
+                    StrategySpec::Kind(StrategyKind::ProfitWeighted),
+                    &variants[vi].1,
+                ),
+                &[dataset_for(network)],
+            )
+        })
+        .collect();
+
+    let outcome = execute(base_id, base, &graph)?;
+    let mut curves = Vec::with_capacity(nodes.len());
+    for &node in &nodes {
+        let report = &outcome.reports[node.index()];
         r.timings.push(ItemTiming {
-            label: format!(
-                "{base_id}/{}/{}/{}",
-                family.label(),
-                network.label(),
-                variants[vi].0
-            ),
-            seconds: d.as_secs_f64(),
+            label: report.label.clone(),
+            seconds: report.seconds,
         });
+        curves.push(decode_curve(outcome.artifact(node).bytes()).map_err(stage_error)?);
     }
 
     let mut curves = curves.into_iter();
@@ -121,6 +133,7 @@ fn sweep(
         }
         r.figures.push(figure);
     }
+    r.stage_reports = outcome.reports;
     Ok(r)
 }
 

@@ -2,11 +2,12 @@
 //! measurements.
 
 use transit_core::error::Result;
-use transit_datasets::{generate, DatasetStats, Network};
+use transit_datasets::Network;
 
 use crate::config::ExperimentConfig;
-use crate::engine::{ItemTiming, SweepEngine};
+use crate::engine::ItemTiming;
 use crate::output::{ExperimentResult, TableOut};
+use crate::stages::{dataset_node, decode_row, execute, stage_error, Table1RowStage};
 
 /// Regenerates Table 1 from the synthetic datasets and prints target vs
 /// measured for every column.
@@ -29,33 +30,31 @@ pub fn table1(config: &ExperimentConfig) -> Result<ExperimentResult> {
         ],
         rows: Vec::new(),
     };
-    // One work item per network: generate the dataset and measure it.
-    // Rows merge back in `Network::ALL` order regardless of `--jobs`.
-    let engine = SweepEngine::from_config(config);
-    let rows = engine.run_timed(&Network::ALL, |_, &network| {
-        let targets = network.table1_targets();
-        let ds = generate(network, config.n_flows, config.seed);
-        let stats = DatasetStats::of(&ds.flows);
-        vec![
-            network.label().into(),
-            targets.date.into(),
-            format!("{:.0}", targets.wavg_distance_miles),
-            format!("{:.0}", stats.wavg_distance_miles),
-            format!("{:.2}", targets.cv_distance),
-            format!("{:.2}", stats.cv_distance),
-            format!("{:.0}", targets.aggregate_gbps),
-            format!("{:.1}", stats.aggregate_gbps),
-            format!("{:.2}", targets.cv_demand),
-            format!("{:.2}", stats.cv_demand),
-        ]
-    });
-    for (network, (row, d)) in Network::ALL.into_iter().zip(rows) {
-        t.rows.push(row);
+    // One `exp.table1row` stage per network over its dataset node. Rows
+    // merge back in `Network::ALL` order regardless of `--jobs`.
+    let mut graph = transit_stage::Graph::new();
+    let nodes: Vec<_> = Network::ALL
+        .into_iter()
+        .map(|network| {
+            let dataset = dataset_node(&mut graph, network, config.n_flows, config.seed);
+            graph.add_labeled(
+                format!("table1/{}", network.label()),
+                Table1RowStage { network },
+                &[dataset],
+            )
+        })
+        .collect();
+    let outcome = execute("table1", config, &graph)?;
+    for &node in &nodes {
+        let report = &outcome.reports[node.index()];
+        t.rows
+            .push(decode_row(outcome.artifact(node).bytes()).map_err(stage_error)?);
         r.timings.push(ItemTiming {
-            label: format!("table1/{}", network.label()),
-            seconds: d.as_secs_f64(),
+            label: report.label.clone(),
+            seconds: report.seconds,
         });
     }
+    r.stage_reports = outcome.reports;
     r.notes.push(format!(
         "synthetic datasets with n={} flows, seed {}; aggregate and demand CV are \
          calibrated exactly, distance moments are geography-quantized (see DESIGN.md)",

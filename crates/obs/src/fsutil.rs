@@ -1,0 +1,71 @@
+//! Atomic file writes shared by every sidecar emitter.
+//!
+//! A kill between `open` and the final `write` of a plain `fs::write`
+//! leaves a truncated file that often still *parses* — a half-written
+//! `run_manifest.json` or store artifact is worse than none. All
+//! profile/manifest/trace/store writers therefore go through
+//! [`atomic_write`]: the bytes land in a same-directory `*.tmp` file
+//! first and are renamed into place, so readers only ever observe the
+//! old content or the complete new content.
+
+use std::io::{self, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Per-process nonce so concurrent writers of the same target never
+/// share a tmp file.
+static TMP_NONCE: AtomicU64 = AtomicU64::new(0);
+
+/// Writes `bytes` to `path` atomically: same-directory tmp file, fsync,
+/// rename. The rename is atomic on POSIX filesystems, so a kill at any
+/// instant leaves either the previous file or the new one — never a
+/// truncated hybrid.
+pub fn atomic_write(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
+    let file_name = path
+        .file_name()
+        .and_then(|n| n.to_str())
+        .unwrap_or("atomic");
+    let nonce = TMP_NONCE.fetch_add(1, Ordering::Relaxed);
+    let tmp_name = format!(".{file_name}.{}.{nonce}.tmp", std::process::id());
+    let tmp_path = match dir {
+        Some(d) => d.join(tmp_name),
+        None => tmp_name.into(),
+    };
+    let result = (|| {
+        let mut f = std::fs::File::create(&tmp_path)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+        drop(f);
+        std::fs::rename(&tmp_path, path)
+    })();
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp_path);
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_and_replaces() {
+        let dir = std::env::temp_dir().join(format!("transit-obs-fsutil-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("out.json");
+        atomic_write(&path, b"first").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"first");
+        atomic_write(&path, b"second, longer content").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"second, longer content");
+        // No tmp litter left behind.
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.path().extension().is_some_and(|x| x == "tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "{leftovers:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -48,6 +48,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fsutil;
 pub mod journal;
 pub mod level;
 pub mod manifest;
@@ -56,6 +57,7 @@ pub mod serve;
 pub mod span;
 pub mod trace;
 
+pub use fsutil::atomic_write;
 pub use level::{level_enabled, log_level, set_log_level, Level};
 pub use manifest::{git_rev, RunManifest, RunTimings};
 pub use metrics::{

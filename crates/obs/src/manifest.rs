@@ -56,6 +56,10 @@ pub struct RunManifest {
     pub metrics: MetricsSnapshot,
     /// Per-experiment item timings, keyed by experiment id.
     pub timings: BTreeMap<String, RunTimings>,
+    /// Per-experiment stage-graph execution reports (fingerprints,
+    /// cache hits, timings), pre-rendered to the serde data model by
+    /// the caller. `Null` when the run recorded no stage data.
+    pub stages: serde::Content,
 }
 
 impl RunManifest {
@@ -82,7 +86,15 @@ impl RunManifest {
             spans: crate::span::snapshot_spans(),
             metrics: crate::metrics::snapshot(),
             timings,
+            stages: serde::Content::Null,
         }
+    }
+
+    /// Attaches stage-graph execution reports (shown under a `stages`
+    /// key in the JSON document).
+    pub fn with_stages(mut self, stages: serde::Content) -> RunManifest {
+        self.stages = stages;
+        self
     }
 
     /// Pretty JSON rendering.
@@ -95,8 +107,11 @@ impl RunManifest {
     pub fn write_to(&self, dir: &Path) -> std::io::Result<PathBuf> {
         fs::create_dir_all(dir)?;
         let manifest_path = dir.join("run_manifest.json");
-        fs::write(&manifest_path, self.to_json())?;
-        fs::write(dir.join("metrics.prom"), self.metrics.to_prometheus())?;
+        crate::fsutil::atomic_write(&manifest_path, self.to_json().as_bytes())?;
+        crate::fsutil::atomic_write(
+            &dir.join("metrics.prom"),
+            self.metrics.to_prometheus().as_bytes(),
+        )?;
         Ok(manifest_path)
     }
 }
@@ -146,6 +161,7 @@ impl serde::Serialize for RunManifest {
             ("spans".into(), tree_to_content(&self.spans)),
             ("metrics".into(), serde::Serialize::to_content(&self.metrics)),
             ("timings".into(), timings),
+            ("stages".into(), self.stages.clone()),
         ])
     }
 }

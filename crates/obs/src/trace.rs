@@ -245,7 +245,7 @@ pub fn events_to_chrome_trace(events: &[Event]) -> (String, TraceStats) {
 pub fn export_chrome_trace(events_path: &Path, trace_path: &Path) -> io::Result<TraceStats> {
     let events = read_events(events_path)?;
     let (json, stats) = events_to_chrome_trace(&events);
-    std::fs::write(trace_path, json)?;
+    crate::fsutil::atomic_write(trace_path, json.as_bytes())?;
     Ok(stats)
 }
 

@@ -2,13 +2,18 @@
 //!
 //! A corpus file is one scenario plus provenance (the divergence it once
 //! produced, the seed that found it). Encoding goes through the
-//! [`serde::Content`] data model; decoding walks [`serde_json::Value`]
-//! by hand because the vendored serde has no typed deserialization.
-//! `f64` values round-trip exactly through the JSON layer, so a replayed
-//! scenario is bit-for-bit the one that was committed.
+//! [`serde::Content`] data model and is rendered by the shared
+//! canonical-JSON emitter ([`transit_stage::canon`]) — the same exact
+//! f64-roundtrip form the artifact store fingerprints with, so there is
+//! exactly one canonical byte encoding in the workspace. Decoding walks
+//! [`serde_json::Value`] by hand because the vendored serde has no
+//! typed deserialization. `f64` values round-trip exactly through the
+//! JSON layer, so a replayed scenario is bit-for-bit the one that was
+//! committed.
 
 use serde::Content;
 use serde_json::Value;
+use transit_stage::canon::{map, to_canonical_pretty};
 
 use crate::faults::Fault;
 use crate::scenario::{DemandSpec, Family, IngestScenario, MarketSpec, Scenario};
@@ -43,10 +48,6 @@ impl std::fmt::Display for CorpusError {
 }
 
 impl std::error::Error for CorpusError {}
-
-fn map(fields: Vec<(&str, Content)>) -> Content {
-    Content::Map(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
-}
 
 fn pairs_content(pairs: &[(f64, f64)]) -> Content {
     Content::Seq(
@@ -126,7 +127,8 @@ fn scenario_content(s: &Scenario) -> Content {
     ])
 }
 
-/// Renders a corpus case as pretty JSON (the committed file format).
+/// Renders a corpus case as canonical pretty JSON (the committed file
+/// format): map keys sorted, floats exact-roundtrip.
 pub fn to_json(case: &CorpusCase) -> String {
     let content = map(vec![
         ("name", Content::Str(case.name.clone())),
@@ -134,7 +136,7 @@ pub fn to_json(case: &CorpusCase) -> String {
         ("family", Content::Str(case.scenario.family().name().to_string())),
         ("scenario", scenario_content(&case.scenario)),
     ]);
-    serde_json::to_string_pretty(&content).expect("Content serialization is infallible")
+    to_canonical_pretty(&content)
 }
 
 // ---------------------------------------------------------------------------

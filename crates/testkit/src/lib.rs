@@ -19,6 +19,9 @@
 //!   committed regression cases.
 //! - [`corpus`]: JSON (de)serialization for those committed cases.
 //! - [`fuzz`]: the time-budgeted loop behind the `fuzz_smoke` binary.
+//! - [`resume`]: a kill-and-resume oracle for stage graphs — interrupt
+//!   at every stage boundary, resume from the artifact store, assert
+//!   byte-identical output.
 
 #![warn(missing_docs)]
 
@@ -26,6 +29,7 @@ pub mod corpus;
 pub mod faults;
 pub mod fuzz;
 pub mod oracle;
+pub mod resume;
 pub mod rng;
 pub mod scenario;
 pub mod shrink;
@@ -36,6 +40,7 @@ pub use fuzz::{run_fuzz, FuzzConfig, FuzzFailure, FuzzOutcome};
 pub use oracle::{
     check, epsilon_deviation_bounds, materialize_stream, Divergence, EpsilonBounds, Verdict,
 };
+pub use resume::{check_kill_resume, BoundaryCheck, ResumeReport};
 pub use rng::{derive_seed, TestkitRng};
 pub use scenario::{DemandSpec, Family, IngestScenario, MarketSpec, Scenario};
 pub use shrink::{shrink, ShrinkReport};

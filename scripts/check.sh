@@ -55,6 +55,17 @@ cargo run --release -q -p transit-bench --bin sweep_smoke -- --ingest-smoke 1000
 echo "== perf gate (fresh run vs committed BENCH_sweep.json) =="
 cargo run --release -q -p transit-bench --bin sweep_smoke -- --gate BENCH_sweep.json
 
+# Artifact-store smoke: run fig8 cold against a fresh --store, then warm
+# with --resume. The warm run must hit the store for every stage (zero
+# recomputation), emit byte-identical figure JSON, and finish >= 5x
+# faster than the cold run. The cold/warm timings are recorded under the
+# "store_smoke" key of BENCH_sweep.json (a surgical splice — every other
+# byte of the committed baseline is preserved) and one "store-smoke"
+# line is appended to the BENCH_history.jsonl ledger.
+echo "== store smoke (cold vs warm --resume, 100% hits + 5x gate) =="
+cargo run --release -q -p transit-bench --bin store_smoke -- \
+  --dir target/store-smoke --sweep BENCH_sweep.json --history BENCH_history.jsonl
+
 # Observability smoke: run a short sweep with the journal and the live
 # /metrics endpoint enabled, scrape /healthz and /metrics mid-run
 # (every body is parsed by the Prometheus validator), then check the

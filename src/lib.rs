@@ -14,6 +14,8 @@
 //! * [`experiments`] — per-figure/table experiment runners.
 //! * [`obs`] — structured spans, metrics registry, run manifests.
 //! * [`pool`] — process-wide work-stealing thread pool and core budget.
+//! * [`stage`] — stage-graph DAG executor with a content-addressed
+//!   artifact store (crash-resumable pipelines).
 
 #![forbid(unsafe_code)]
 
@@ -26,4 +28,5 @@ pub use transit_netflow as netflow;
 pub use transit_obs as obs;
 pub use transit_pool as pool;
 pub use transit_routing as routing;
+pub use transit_stage as stage;
 pub use transit_topology as topology;

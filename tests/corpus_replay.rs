@@ -44,10 +44,16 @@ fn every_corpus_case_replays_green() {
 fn corpus_files_are_canonical() {
     // Re-encoding a parsed case must reproduce the committed bytes, so
     // hand-edited files can't silently drift from what `--emit-corpus`
-    // (and the shrinker's failure reports) write.
+    // (and the shrinker's failure reports) write. `UPDATE_CORPUS=1`
+    // rewrites the files in the current canonical form instead (use
+    // after deliberate encoder changes, then review the diff).
+    let update = std::env::var("UPDATE_CORPUS").is_ok();
     for (path, parsed) in load_dir(&corpus_dir()).expect("tests/corpus must be readable") {
         let case = parsed.unwrap_or_else(|e| panic!("{}: {e}", path.display()));
         let reencoded = to_json(&case) + "\n";
+        if update {
+            std::fs::write(&path, &reencoded).unwrap();
+        }
         let on_disk = std::fs::read_to_string(&path).unwrap();
         assert_eq!(
             reencoded,

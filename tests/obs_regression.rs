@@ -9,7 +9,7 @@ use std::collections::BTreeMap;
 use std::sync::Mutex;
 
 use serde_json::Value;
-use tiered_transit::experiments::{profile, runners, ExperimentConfig, ItemTiming};
+use tiered_transit::experiments::{profile, runners, ExperimentConfig};
 use tiered_transit::{obs, pool};
 
 static LEVEL_LOCK: Mutex<()> = Mutex::new(());
@@ -24,12 +24,12 @@ fn fig8_config(log_level: obs::Level) -> ExperimentConfig {
     }
 }
 
-fn run_fig8(level: obs::Level) -> (String, Vec<ItemTiming>) {
+fn run_fig8(level: obs::Level) -> (String, tiered_transit::experiments::ExperimentResult) {
     obs::set_log_level(level);
     let result = runners::run("fig8", &fig8_config(level))
         .expect("fig8 runs")
         .expect("fig8 known");
-    (result.to_json(), result.timings)
+    (result.to_json(), result)
 }
 
 /// The acceptance gate: fig8 JSON with spans collected (the profiled
@@ -47,29 +47,34 @@ fn profiled_and_quiet_runs_emit_identical_figure_json() {
 }
 
 /// A profiled fig8 run produces a manifest with a non-empty span tree,
-/// live cache counters, and per-item timings.
+/// live cache counters, per-item timings, and per-stage reports.
 #[test]
 fn profiled_fig8_manifest_has_spans_counters_and_timings() {
     let _guard = LEVEL_LOCK.lock().unwrap();
-    // The sweep span reports the *effective* width — `jobs = 2` only
-    // materializes when the pool budget allows 2 threads, so pin the
-    // budget to make the span name deterministic on any box size.
+    // Pin the pool budget so the stage-graph width is deterministic on
+    // any box size (`jobs = 2` only materializes when the budget allows
+    // 2 threads).
     let _budget = pool::scoped_budget(2);
-    let (_, timings) = run_fig8(obs::Level::Info);
+    let (_, result) = run_fig8(obs::Level::Info);
     obs::set_log_level(obs::Level::Info);
-    assert!(!timings.is_empty(), "fig8 must report item timings");
+    assert!(!result.timings.is_empty(), "fig8 must report item timings");
 
     let dir = std::env::temp_dir().join(format!("transit_obs_reg_{}", std::process::id()));
     let config = fig8_config(obs::Level::Info);
-    let runs = vec![("fig8".to_string(), timings)];
+    let runs = vec![profile::RunRecord {
+        id: "fig8".to_string(),
+        timings: result.timings,
+        stages: result.stage_reports,
+    }];
     let manifest_path = profile::write_profile(&dir, &config, &runs).unwrap();
 
     let manifest: Value =
         serde_json::from_str(&std::fs::read_to_string(&manifest_path).unwrap()).unwrap();
     assert_eq!(manifest["schema"], "transit-obs/v1");
 
-    // Span tree: the experiment root exists and contains the sweep with
-    // per-item children.
+    // Span tree: the experiment root exists and contains the stage
+    // graph (3 dataset nodes + 18 capture nodes) with per-stage
+    // children for every computed node.
     let spans = manifest["spans"].as_object().expect("spans object");
     assert!(!spans.is_empty(), "span tree must be non-empty");
     let experiment = &manifest["spans"]["experiment(id=fig8)"];
@@ -78,31 +83,54 @@ fn profiled_fig8_manifest_has_spans_counters_and_timings() {
         "experiment(id=fig8) span missing: {:?}",
         spans.iter().map(|(k, _)| k).collect::<Vec<_>>()
     );
-    let sweep = &experiment["children"]["sweep.run(items=18, jobs=2)"];
+    let graph_run = &experiment["children"]["stage.graph.run(stages=21)"];
     assert!(
-        sweep.get("count").is_some(),
-        "sweep.run span missing under experiment"
+        graph_run.get("count").is_some(),
+        "stage.graph.run span missing under experiment: {:?}",
+        experiment["children"]
+            .as_object()
+            .map(|c| c.iter().map(|(k, _)| k).collect::<Vec<_>>())
     );
-    let items = &sweep["children"]["sweep.item"];
-    assert!(
-        items["count"].as_f64().unwrap_or(0.0) >= 18.0,
-        "per-item spans missing: {items:?}"
-    );
+    let stage_spans = graph_run["children"]
+        .as_object()
+        .expect("stage children")
+        .iter()
+        .filter(|(k, _)| k.starts_with("stage.run("))
+        .count();
+    assert!(stage_spans >= 21, "per-stage spans missing: {stage_spans}");
 
-    // Cache hit/miss counters were exercised by the DP sweeps.
+    // Cache hit/miss counters were exercised by the DP sweeps, and the
+    // storeless stage run recorded 21 store misses.
     let counters = &manifest["metrics"]["counters"];
     let hits = counters["cache.fingerprint.hits"].as_f64().unwrap_or(-1.0);
     let misses = counters["cache.fingerprint.misses"].as_f64().unwrap_or(-1.0);
     assert!(hits > 0.0, "cache hits counter: {hits}");
     assert!(misses > 0.0, "cache misses counter: {misses}");
+    let stage_misses = counters["stage.store.misses"].as_f64().unwrap_or(-1.0);
+    assert!(stage_misses >= 21.0, "stage.store.misses: {stage_misses}");
 
-    // Per-item timings made it into the manifest and the sidecar.
+    // Per-item timings made it into the manifest and the sidecar, with
+    // the legacy sweep-item labels and order.
     assert_eq!(manifest["timings"]["fig8"][0]["label"], "fig8a/Optimal");
     assert!(dir.join("fig8.timings.json").exists());
     let sidecar: Value =
         serde_json::from_str(&std::fs::read_to_string(dir.join("fig8.timings.json")).unwrap())
             .unwrap();
     assert_eq!(sidecar.as_array().unwrap().len(), 18);
+
+    // Stage reports: one entry per graph node, fingerprints rendered as
+    // 64-char hex, dataset nodes first.
+    assert!(dir.join("fig8.stages.json").exists());
+    let stages: Value =
+        serde_json::from_str(&std::fs::read_to_string(dir.join("fig8.stages.json")).unwrap())
+            .unwrap();
+    let stages = stages.as_array().unwrap();
+    assert_eq!(stages.len(), 21);
+    assert_eq!(stages[0]["kind"], "dataset.generate");
+    assert_eq!(stages[3]["kind"], "exp.capture");
+    assert_eq!(stages[3]["label"], "fig8a/Optimal");
+    assert_eq!(stages[0]["fingerprint"].as_str().unwrap().len(), 64);
+    assert_eq!(manifest["stages"]["fig8"].as_array().unwrap().len(), 21);
 
     std::fs::remove_dir_all(&dir).ok();
 }
